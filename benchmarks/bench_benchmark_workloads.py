@@ -1,0 +1,19 @@
+"""A6 ablation (paper §5 future work): ET1 and Wisconsin workloads.
+
+The paper planned to repeat its experiments with the ET1 (DebitCredit) and
+Wisconsin benchmarks.  This bench runs the Figure 1 scenario under all
+three workloads and checks each produces a sane failure/recovery cycle.
+"""
+
+from repro.experiments.ablations import run_benchmark_workloads
+
+
+def test_bench_benchmark_workloads(benchmark):
+    results = benchmark.pedantic(run_benchmark_workloads, rounds=2, iterations=1)
+    assert len(results) == 3
+    for result in results:
+        assert result.peak_locks > 10          # the failure bites
+        assert result.txns_to_recover > 0      # and recovery completes
+        assert result.aborts == 0
+    by_name = {r.workload.split("(")[0]: r for r in results}
+    assert set(by_name) == {"uniform", "et1", "wisconsin"}

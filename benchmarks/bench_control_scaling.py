@@ -1,0 +1,36 @@
+"""A10 ablation: the §2.2.2 scaling claims.
+
+The paper asserts three dependences for control-transaction costs:
+
+* type 1 at the recovering site grows with the number of sites (one
+  announcement per site);
+* type 1 at the operational site is independent of the site count but
+  grows with the database size (the fail-lock payload);
+* type 2 is independent of the number of sites.
+
+This bench regenerates the sweep and checks all three.
+"""
+
+from repro.experiments.ablations import run_control_scaling
+
+
+def test_bench_control_scaling(benchmark):
+    results = benchmark.pedantic(
+        run_control_scaling,
+        kwargs={"site_counts": (2, 4, 8), "db_sizes": (50, 200)},
+        rounds=2,
+        iterations=1,
+    )
+    at = {(r.num_sites, r.db_size): r for r in results}
+
+    # Claim 1: recovering-side type 1 grows with the site count.
+    assert (
+        at[(2, 50)].type1_recovering
+        < at[(4, 50)].type1_recovering
+        < at[(8, 50)].type1_recovering
+    )
+    # Claim 2: operational-side type 1 is flat in sites, grows with db.
+    assert at[(2, 50)].type1_operational == at[(8, 50)].type1_operational
+    assert at[(2, 200)].type1_operational > 2 * at[(2, 50)].type1_operational
+    # Claim 3: type 2 is independent of the site count (and of db size).
+    assert at[(2, 50)].type2 == at[(8, 50)].type2 == at[(4, 200)].type2

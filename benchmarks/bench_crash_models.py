@@ -1,0 +1,23 @@
+"""A9 ablation: warm (mini-RAID) vs cold crash model.
+
+Mini-RAID simulated failure by muting a process, so a recovering site's
+database survives and only the updates committed during the outage are
+stale.  A cold crash loses the volatile database: on recovery *every* copy
+is fail-locked.  This bench regenerates the comparison and checks the
+expected shape — cold recovery starts from a fully stale database and
+never finishes faster than warm.
+"""
+
+from repro.experiments.ablations import run_crash_models
+
+
+def test_bench_crash_models(benchmark):
+    results = benchmark.pedantic(run_crash_models, rounds=2, iterations=1)
+    by_model = {r.model: r for r in results}
+    warm = by_model["warm"]
+    cold = by_model["cold"]
+    assert cold.initial_stale >= 49          # everything (db=50) stale
+    assert warm.initial_stale < cold.initial_stale
+    assert cold.txns_to_recover >= warm.txns_to_recover * 0.8
+    # Both complete.
+    assert warm.txns_to_recover > 0 and cold.txns_to_recover > 0

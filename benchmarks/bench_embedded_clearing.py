@@ -1,0 +1,19 @@
+"""A2 ablation (paper §2.2.3 suggestion): embed clear-fail-locks in 2PC.
+
+The paper estimates that eliminating the clear-fail-locks special
+transactions "could significantly reduce this overhead".  This bench
+regenerates the copier-transaction cost under both modes and checks the
+embedded mode is cheaper.
+"""
+
+from repro.experiments.ablations import run_embedded_clearing
+
+
+def test_bench_embedded_clearing(benchmark):
+    results = benchmark.pedantic(run_embedded_clearing, rounds=2, iterations=1)
+    by_mode = {r.mode: r for r in results}
+    special = by_mode["special_txn"]
+    embedded = by_mode["embedded"]
+    assert special.samples >= 5 and embedded.samples >= 5
+    # Embedding removes the per-peer clear messages from the critical path.
+    assert embedded.txn_with_copier < special.txn_with_copier - 10.0

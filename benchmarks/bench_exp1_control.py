@@ -1,0 +1,17 @@
+"""E1-T2 (paper §2.2.2): control transaction times.
+
+Regenerates the type-1 (recovering and operational side) and type-2
+control transaction durations.
+"""
+
+from repro.experiments import exp1
+
+
+def test_bench_control_overhead(benchmark, band):
+    result = benchmark.pedantic(exp1.run_control_overhead, rounds=3, iterations=1)
+    band(result.type1_recovering, exp1.PAPER_TYPE1_RECOVERING, 0.20)
+    band(result.type1_operational, exp1.PAPER_TYPE1_OPERATIONAL, 0.20)
+    band(result.type2, exp1.PAPER_TYPE2, 0.20)
+    # Shape: the recovering side pays for announcements to every site plus
+    # the state install, so it costs several times the responder's side.
+    assert result.type1_recovering > 3 * result.type1_operational

@@ -1,0 +1,20 @@
+"""E1-T3 (paper §2.2.3): copier transaction overhead.
+
+Regenerates the copier cost table: a database transaction including one
+copier vs the size-matched copier-free baseline (+45 % in the paper), the
+copy-request overhead at the responder (25 ms), and the clear-fail-locks
+special transaction (20 ms).
+"""
+
+from repro.experiments import exp1
+
+
+def test_bench_copier_overhead(benchmark, band):
+    result = benchmark.pedantic(exp1.run_copier_overhead, rounds=3, iterations=1)
+    band(result.copy_request_overhead, exp1.PAPER_COPY_REQUEST, 0.20)
+    band(result.clear_faillocks_time, exp1.PAPER_CLEAR_FAILLOCKS, 0.20)
+    # The headline: ~45 % dearer with a copier, ~30 points of it from the
+    # clear-fail-locks special transactions.
+    assert 30.0 < result.increase_pct < 60.0
+    assert 15.0 < result.clearing_share_pct < 45.0
+    assert result.samples >= 5

@@ -1,0 +1,19 @@
+"""E1-T1 (paper §2.2.1): fail-lock maintenance overhead.
+
+Regenerates the table of coordinator/participant transaction times with
+and without the fail-locks code, and checks the published values.
+"""
+
+from repro.experiments import exp1
+
+
+def test_bench_faillock_overhead(benchmark, band):
+    result = benchmark.pedantic(
+        exp1.run_faillock_overhead, kwargs={"txns": 150}, rounds=3, iterations=1
+    )
+    band(result.coord_without, exp1.PAPER_COORD_NO_FL, 0.20)
+    band(result.coord_with, exp1.PAPER_COORD_FL, 0.20)
+    band(result.part_without, exp1.PAPER_PART_NO_FL, 0.20)
+    band(result.part_with, exp1.PAPER_PART_FL, 0.20)
+    # The headline ratio: maintenance is a slight (~6 %) increase.
+    assert 2.0 < result.coord_overhead_pct < 12.0

@@ -1,0 +1,20 @@
+"""Figure 1 (paper §3): data availability during failure and recovery.
+
+Regenerates the fail-lock trajectory of a failing-then-recovering site
+(db=50, 2 sites, max txn size 5) and checks the §3 headline numbers:
+>90 % of copies fail-locked at the peak, recovery on the order of 160
+transactions, very few copier transactions, and a clearing rate that slows
+as the locked fraction drops.
+"""
+
+from repro.experiments import run_figure1
+
+
+def test_bench_figure1(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=3, iterations=1)
+    assert result.peak_fraction > 0.90            # paper: "over 90%"
+    assert 60 <= result.report.txns_to_recover <= 320   # paper: ~160
+    assert result.copiers <= 5                    # paper: 2
+    assert result.aborts == 0
+    buckets = result.report.clearing_buckets
+    assert buckets[-1][1] > 2 * buckets[0][1]     # the long tail

@@ -1,0 +1,17 @@
+"""Figure 2 (paper §4.2.1): database inconsistency, scenario 1.
+
+Two sites with alternating failures: site 1 going down during site 0's
+recovery makes some items totally unavailable, so a batch of transactions
+abort with "copy unavailable" (13 in the paper's run).
+"""
+
+from repro.experiments import run_scenario1
+
+
+def test_bench_figure2(benchmark):
+    result = benchmark.pedantic(run_scenario1, rounds=3, iterations=1)
+    assert 0 < result.aborts < 30                        # paper: 13
+    assert set(result.abort_reasons) == {"copy_unavailable"}
+    assert result.peak(0) > 0 and result.peak(1) > 0     # both lines rise
+    assert result.consistency_violations == []
+    assert all(v == 0 for v in result.final_locks.values())

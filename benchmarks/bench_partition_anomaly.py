@@ -1,0 +1,25 @@
+"""A11 ablation: partitions — the ROWAA anomaly vs quorum safety.
+
+The paper's fail-locks are motivated for copies unavailable "due to site
+failure or network partitioning" (§1.1), but write-all-available with
+timeout failure detection is only safe when a "down" site truly stops
+writing.  Under a 3-1 partition, ROWAA lets both halves commit and the
+replicas diverge (the consistency audit reports violations after healing);
+majority quorum keeps the minority half idle and stays consistent.
+"""
+
+from repro.experiments.ablations import run_partition_anomaly
+
+
+def test_bench_partition_anomaly(benchmark):
+    results = benchmark.pedantic(run_partition_anomaly, rounds=2, iterations=1)
+    by_name = {r.strategy: r for r in results}
+    rowaa = by_name["rowaa"]
+    quorum = by_name["quorum"]
+    # ROWAA stays available in both halves — and pays with divergence.
+    assert rowaa.commits_during_partition > quorum.commits_during_partition
+    assert rowaa.divergent_items > 0
+    # Quorum sacrifices the minority half's availability for safety.
+    assert quorum.aborts_during_partition > 0
+    assert quorum.commits_during_partition > 0  # majority half keeps going
+    assert quorum.divergent_items == 0

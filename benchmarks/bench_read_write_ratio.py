@@ -1,0 +1,22 @@
+"""A3 ablation (paper §5 discussion): the read/write ratio.
+
+The paper predicts that with fewer writes, fail-locks accumulate more
+slowly while a site is down, and recovery relies more on copier
+transactions.  This bench regenerates the sweep and checks both trends.
+"""
+
+from repro.experiments.ablations import run_read_write_ratio
+
+
+def test_bench_read_write_ratio(benchmark):
+    results = benchmark.pedantic(
+        run_read_write_ratio,
+        kwargs={"write_probs": (0.1, 0.5, 0.7)},
+        rounds=2,
+        iterations=1,
+    )
+    by_wp = {r.write_probability: r for r in results}
+    # More writes while down -> more fail-locks at the peak.
+    assert by_wp[0.1].peak_locks < by_wp[0.5].peak_locks <= by_wp[0.7].peak_locks + 2
+    # Fewer writes -> recovery leans more on copier transactions.
+    assert by_wp[0.1].copiers >= by_wp[0.7].copiers

@@ -1,0 +1,25 @@
+"""A12 ablation: submission bias during recovery.
+
+Validates the Experiment 2 fidelity choice (DESIGN.md): the paper's "only
+two copier transactions" over a ~160-transaction recovery implies the
+recovering site coordinated almost nothing.  The sweep shows copier count
+rising steeply with the recovering site's share of coordinations — ~0-2
+copiers at a ≤5 % share (the paper's regime), an order of magnitude more
+at a 50/50 split.
+"""
+
+from repro.experiments.ablations import run_submission_bias
+
+
+def test_bench_submission_bias(benchmark):
+    results = benchmark.pedantic(run_submission_bias, rounds=2, iterations=1)
+    by_share = {r.recovering_share: r for r in results}
+    assert by_share[0.0].copiers == 0
+    assert by_share[0.05].copiers <= 3        # the paper's "2" regime
+    assert by_share[0.5].copiers > 3 * max(by_share[0.05].copiers, 1)
+    # More copier traffic shifts refreshing from writes to copiers.
+    assert (
+        by_share[0.5].refreshed_by_copier > by_share[0.05].refreshed_by_copier
+    )
+    # Every configuration fully recovers.
+    assert all(r.txns_to_recover > 0 for r in results)

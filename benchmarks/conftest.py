@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (or one
+of the DESIGN.md ablations) through the same experiment runners the tests
+and EXPERIMENTS.md use, and asserts the reproduction bands so a benchmark
+run doubles as a results check.  pytest-benchmark measures the wall-clock
+cost of regenerating each artifact.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered by paper artifact for readable output.
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def band():
+    """Tolerance helper shared by all benchmarks."""
+
+    def check(measured, paper, tolerance=0.25):
+        assert abs(measured - paper) <= tolerance * paper, (
+            f"measured {measured:.1f} outside ±{tolerance:.0%} of paper "
+            f"value {paper:.1f}"
+        )
+
+    return check

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The "complete RAID" mode: concurrent transactions with 2PL.
+
+Mini-RAID processed transactions serially; the paper's future work was to
+re-run the protocol in the complete RAID system with concurrency control.
+This example runs that extension: Poisson arrivals over a 4-site cluster
+(one core per machine, 9 ms wire latency), strict two-phase locking at
+every site, and a global deadlock detector that aborts the youngest
+transaction in any cycle.
+
+Usage::
+
+    python examples/concurrent_raid.py
+"""
+
+from repro.experiments.report import format_table
+from repro.system.config import SystemConfig
+from repro.system.openloop import run_open_loop
+
+
+def main() -> None:
+    rows = []
+    for rate in (1.0, 3.0, 6.0, 12.0, 24.0):
+        config = SystemConfig(
+            db_size=50,
+            num_sites=4,
+            max_txn_size=5,
+            seed=42,
+            concurrency_control=True,
+            cores=5,               # one per site plus the driver
+            wire_latency_ms=9.0,   # the paper's measured communication time
+        )
+        result = run_open_loop(config, txn_count=400, arrival_rate_tps=rate)
+        rows.append(
+            (
+                f"{rate:.0f}",
+                f"{result.throughput_tps:.1f}",
+                f"{result.latency.mean:.0f} ms",
+                f"{result.latency.p95:.0f} ms",
+                result.lock_parks,
+                result.deadlock_aborts,
+            )
+        )
+    print("Open-loop sweep: 4 sites, db=50, max txn size 5, strict 2PL\n")
+    print(
+        format_table(
+            ["arrival (tps)", "throughput (tps)", "mean latency",
+             "p95 latency", "lock waits", "deadlock aborts"],
+            rows,
+        )
+    )
+    print(
+        "\nBelow saturation, throughput tracks the offered load and latency "
+        "stays near the serial commit time; as contention rises, lock waits "
+        "queue and cross-site write-write cycles appear, resolved by the "
+        "global detector at the cost of aborting the youngest transaction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 1: data availability during site failure and recovery.
+
+Runs the paper's Experiment 2 scenario (site 0 down for 100 transactions,
+then recovering) and renders the fail-lock trajectory as an ASCII chart,
+alongside the §3 headline numbers.
+
+Usage::
+
+    python examples/failure_recovery.py [seed]
+"""
+
+import sys
+
+from repro.experiments import run_figure1
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    result = run_figure1(seed=seed)
+
+    print(result.chart())
+    report = result.report
+    print()
+    print(f"peak fail-locks on site 0      : {report.peak_locks}/50 "
+          f"({100 * result.peak_fraction:.0f} %; paper: >90 %)")
+    print(f"transactions to full recovery  : {report.txns_to_recover} "
+          f"(paper: ~160)")
+    print(f"copier transactions requested  : {result.copiers} (paper: 2)")
+    print(f"aborted transactions           : {result.aborts} (paper: 0)")
+    print("\nclearing rate (locks remaining -> txns for that bucket of 10):")
+    for remaining, txns in report.clearing_buckets:
+        print(f"  down to {remaining:2d} locks: {txns} txns")
+    print("\nThe tail is the paper's point: the fewer fail-locks remain, the "
+          "longer each takes to clear by chance writes alone — motivating "
+          "the two-step (batch copier) recovery of §3.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""ROWAA vs strict ROWA vs quorum consensus vs primary copy.
+
+Two views of the availability trade-off the paper's introduction frames:
+
+1. *Simulated*: the Experiment 3 scenario-2 failure script run under each
+   strategy the cluster supports, counting commits and aborts.
+2. *Analytic*: closed-form read/write availability for each strategy when
+   every site is independently up with probability p.
+
+Usage::
+
+    python examples/strategy_comparison.py
+"""
+
+from repro.experiments.ablations import run_strategy_comparison
+from repro.experiments.report import format_table
+from repro.replication import (
+    PrimaryCopyStrategy,
+    QuorumStrategy,
+    RowaStrategy,
+    RowaaStrategy,
+)
+
+
+def main() -> None:
+    print("Simulated: scenario-2 failure script (4 sites failing in turn)\n")
+    rows = [
+        (r.strategy, r.commits, r.aborts,
+         ", ".join(f"{k}={v}" for k, v in sorted(r.abort_reasons.items())) or "-")
+        for r in run_strategy_comparison()
+    ]
+    print(format_table(["strategy", "commits", "aborts", "abort reasons"], rows))
+
+    print("\nAnalytic: operation availability over 4 sites, site-up probability p\n")
+    strategies = [
+        RowaaStrategy(4),
+        RowaStrategy(4),
+        QuorumStrategy(4),
+        PrimaryCopyStrategy(4),
+    ]
+    header = ["p", *(f"{s.name} read" for s in strategies),
+              *(f"{s.name} write" for s in strategies)]
+    table = []
+    for p in (0.90, 0.95, 0.99):
+        row: list[object] = [p]
+        row += [f"{s.read_availability(p):.6f}" for s in strategies]
+        row += [f"{s.write_availability(p):.6f}" for s in strategies]
+        table.append(row)
+    print(format_table(header, table))
+    print(
+        "\nROWAA keeps writes available whenever *any* copy survives — the "
+        "availability the paper buys with fail-locks; strict ROWA loses "
+        "writes to every single-site failure, quorum tolerates a minority "
+        "of failures, and primary copy is hostage to one site."
+    )
+
+
+if __name__ == "__main__":
+    main()

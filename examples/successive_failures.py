@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Reproduce Figures 2 and 3: consistency under successive site failures.
+
+Scenario 1 (two sites, alternating failures) shows transactions aborting
+when the only up-to-date copy of an item is unreachable; scenario 2 (four
+sites failing singly in succession) recovers with no aborts at all because
+an up-to-date copy always survives somewhere.
+
+Usage::
+
+    python examples/successive_failures.py
+"""
+
+from repro.experiments import run_scenario1, run_scenario2
+
+
+def main() -> None:
+    s1 = run_scenario1()
+    print(s1.chart())
+    print(f"\nscenario 1: {s1.commits} commits, {s1.aborts} aborts "
+          f"(paper: 13 aborts) — causes: {s1.abort_reasons or 'none'}")
+    print(f"consistency violations: {len(s1.consistency_violations)}")
+
+    print()
+    s2 = run_scenario2()
+    print(s2.chart())
+    print(f"\nscenario 2: {s2.commits} commits, {s2.aborts} aborts "
+          f"(paper: 0 aborts)")
+    print(f"consistency violations: {len(s2.consistency_violations)}")
+    print("\nFail-locks tracked the location of correct values even as they "
+          "spread across sites — transaction processing continued through "
+          "four successive failures (the paper's Experiment 3 conclusion).")
+
+
+if __name__ == "__main__":
+    main()

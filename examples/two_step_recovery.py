@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The §3.2 proposal: two-step recovery with batch copier transactions.
+
+The paper observes that the last few fail-locks take the longest to clear
+(they wait for a random write to hit them) and proposes a second recovery
+step: once the fail-locked fraction drops below a threshold, the
+recovering site issues copier transactions in batch without waiting for
+reads.  This example sweeps the threshold and shows the recovery-length /
+copier-cost trade-off.
+
+Usage::
+
+    python examples/two_step_recovery.py
+"""
+
+from repro.experiments.ablations import run_two_step_recovery
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    results = run_two_step_recovery(thresholds=(0.1, 0.2, 0.4, 0.8))
+    print("Figure-1 scenario (site 0 recovering), by recovery policy:\n")
+    print(
+        format_table(
+            ["policy", "batch threshold", "txns to full recovery",
+             "copiers", "of which batch"],
+            [
+                (r.policy, r.threshold if r.policy == "two_step" else "-",
+                 r.txns_to_recover, r.copiers, r.batch_copiers)
+                for r in results
+            ],
+        )
+    )
+    base = results[0].txns_to_recover
+    best = min(results[1:], key=lambda r: r.txns_to_recover)
+    print(
+        f"\nBatch copiers cut the recovery period from {base} to "
+        f"{best.txns_to_recover} transactions (threshold "
+        f"{best.threshold}) at the cost of {best.copiers} copier "
+        "exchanges — the fault-tolerance win §3.2 argues for: a shorter "
+        "window in which another failure could strand the last good copy."
+    )
+
+
+if __name__ == "__main__":
+    main()

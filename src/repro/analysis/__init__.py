@@ -1,0 +1,32 @@
+"""Post-run analysis: exports and protocol anatomy.
+
+Turns a run's metrics and message trace into artifacts a downstream user
+can work with — CSV series for plotting the figures in other tools, and a
+message-level breakdown of what each protocol interaction costs.
+"""
+
+from repro.analysis.export import (
+    faillock_series_csv,
+    txn_records_csv,
+    control_records_csv,
+    copier_records_csv,
+    write_csv,
+)
+from repro.analysis.anatomy import (
+    message_anatomy,
+    txn_message_count,
+    protocol_summary,
+    AnatomyRow,
+)
+
+__all__ = [
+    "faillock_series_csv",
+    "txn_records_csv",
+    "control_records_csv",
+    "copier_records_csv",
+    "write_csv",
+    "message_anatomy",
+    "txn_message_count",
+    "protocol_summary",
+    "AnatomyRow",
+]

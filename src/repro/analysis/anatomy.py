@@ -1,0 +1,93 @@
+"""Protocol message anatomy.
+
+The paper reasons about costs in units of inter-site communications (9 ms
+each).  These helpers reconstruct, from the message trace, exactly which
+communications each transaction generated — letting tests and reports
+verify the protocol's message complexity analytically: a committed
+transaction with ``p`` participants costs ``4p`` protocol messages, a
+copier adds ``2 + peers`` more, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import mean
+from repro.net.message import MessageType
+from repro.net.trace import MessageTrace
+
+# Message kinds that belong to transaction processing (not management).
+_PROTOCOL_KINDS = (
+    MessageType.VOTE_REQ,
+    MessageType.VOTE_ACK,
+    MessageType.VOTE_NACK,
+    MessageType.COMMIT,
+    MessageType.COMMIT_ACK,
+    MessageType.ABORT,
+    MessageType.COPY_REQ,
+    MessageType.COPY_RESP,
+    MessageType.COPY_DENIED,
+    MessageType.CLEAR_FAILLOCKS,
+)
+
+
+def message_anatomy(trace: MessageTrace, txn_id: int) -> dict[str, int]:
+    """``{message kind: count}`` for one transaction's protocol messages."""
+    counts: dict[str, int] = {}
+    for entry in trace.for_txn(txn_id):
+        if entry.mtype in _PROTOCOL_KINDS:
+            counts[entry.mtype.value] = counts.get(entry.mtype.value, 0) + 1
+    return counts
+
+
+def txn_message_count(trace: MessageTrace, txn_id: int) -> int:
+    """Total protocol messages one transaction generated."""
+    return sum(message_anatomy(trace, txn_id).values())
+
+
+@dataclass(slots=True)
+class AnatomyRow:
+    """Average message anatomy for one class of transactions."""
+
+    label: str
+    txns: int
+    avg_messages: float
+    avg_communication_ms: float
+
+
+def protocol_summary(
+    trace: MessageTrace,
+    metrics: MetricsCollector,
+    communication_ms: float = 9.0,
+) -> list[AnatomyRow]:
+    """Message anatomy by transaction class (the §2 cost framing).
+
+    Classes: committed without copiers, committed with copiers, aborted.
+    """
+    classes: dict[str, list[int]] = {
+        "committed, no copier": [],
+        "committed, with copier": [],
+        "aborted": [],
+    }
+    for record in metrics.txns:
+        total = txn_message_count(trace, record.txn_id)
+        if not record.committed:
+            classes["aborted"].append(total)
+        elif record.copiers_requested:
+            classes["committed, with copier"].append(total)
+        else:
+            classes["committed, no copier"].append(total)
+    rows = []
+    for label, counts in classes.items():
+        rows.append(
+            AnatomyRow(
+                label=label,
+                txns=len(counts),
+                avg_messages=mean([float(c) for c in counts]),
+                avg_communication_ms=mean(
+                    [float(c) * communication_ms for c in counts]
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,80 @@
+"""CSV export of a run's measurement series.
+
+Each function renders one series as CSV rows (lists of strings, header
+first); :func:`write_csv` saves them.  Everything a figure needs —
+per-transaction fail-lock counts, transaction outcomes/timings, control
+and copier transaction records — can be exported and re-plotted outside
+the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.metrics.collector import MetricsCollector
+
+
+def faillock_series_csv(metrics: MetricsCollector) -> list[list[str]]:
+    """``txn_seq, time_ms, site_<k>...`` — the Figures 1-3 data."""
+    if not metrics.faillock_samples:
+        return [["txn_seq", "time_ms"]]
+    sites = sorted(metrics.faillock_samples[0].locks_per_site)
+    rows = [["txn_seq", "time_ms"] + [f"site_{s}" for s in sites]]
+    for sample in metrics.faillock_samples:
+        rows.append(
+            [str(sample.seq), f"{sample.time:.3f}"]
+            + [str(sample.locks_per_site.get(s, 0)) for s in sites]
+        )
+    return rows
+
+
+def txn_records_csv(metrics: MetricsCollector) -> list[list[str]]:
+    """One row per transaction: outcome, sizes, timings."""
+    rows = [[
+        "txn_id", "seq", "coordinator", "committed", "abort_reason", "size",
+        "items_read", "items_written", "submitted_at", "finished_at",
+        "coordinator_elapsed", "copiers_requested", "clear_notices_sent",
+    ]]
+    for t in metrics.txns:
+        rows.append([
+            str(t.txn_id), str(t.seq), str(t.coordinator),
+            "1" if t.committed else "0", t.abort_reason.value, str(t.size),
+            str(t.items_read), str(t.items_written),
+            f"{t.submitted_at:.3f}", f"{t.finished_at:.3f}",
+            f"{t.coordinator_elapsed:.3f}", str(t.copiers_requested),
+            str(t.clear_notices_sent),
+        ])
+    return rows
+
+
+def control_records_csv(metrics: MetricsCollector) -> list[list[str]]:
+    """One row per control transaction occurrence."""
+    rows = [["kind", "site_id", "role", "started_at", "finished_at", "elapsed"]]
+    for c in metrics.controls:
+        rows.append([
+            str(c.kind), str(c.site_id), c.role,
+            f"{c.started_at:.3f}", f"{c.finished_at:.3f}", f"{c.elapsed:.3f}",
+        ])
+    return rows
+
+
+def copier_records_csv(metrics: MetricsCollector) -> list[list[str]]:
+    """One row per copier exchange."""
+    rows = [["txn_id", "requester", "source", "items", "batch",
+             "started_at", "finished_at", "elapsed"]]
+    for c in metrics.copiers:
+        rows.append([
+            str(c.txn_id), str(c.requester), str(c.source), str(c.items),
+            "1" if c.batch else "0",
+            f"{c.started_at:.3f}", f"{c.finished_at:.3f}", f"{c.elapsed:.3f}",
+        ])
+    return rows
+
+
+def write_csv(rows: list[list[str]], path: str | Path) -> Path:
+    """Write ``rows`` (header first) to ``path``; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        csv.writer(fh).writerows(rows)
+    return path

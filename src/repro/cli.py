@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+===============  =======================================================
+``exp1``         §2 overhead tables (fail-locks, control txns, copiers)
+``fig1``         §3 Figure 1 with the availability analysis
+``fig2``         §4.2.1 Figure 2 (scenario 1)
+``fig3``         §4.2.2 Figure 3 (scenario 2)
+``ablations``    A1-A6 design-choice studies
+``concurrent``   the "complete RAID" open-loop sweep (A8)
+``report``       regenerate EXPERIMENTS.md (everything above)
+===============  =======================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_exp1(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_control_overhead,
+        run_copier_overhead,
+        run_faillock_overhead,
+    )
+    from repro.experiments.report import format_table
+
+    fl = run_faillock_overhead(seed=args.seed)
+    print("Fail-locks maintenance (§2.2.1):")
+    print(
+        format_table(
+            ["role", "without", "paper", "with", "paper"],
+            [
+                (r, f"{a:.0f} ms", f"{b:.0f} ms", f"{c:.0f} ms", f"{d:.0f} ms")
+                for r, a, b, c, d in fl.rows()
+            ],
+        )
+    )
+    ctrl = run_control_overhead(seed=args.seed)
+    print("\nControl transactions (§2.2.2):")
+    print(
+        format_table(
+            ["control transaction", "measured", "paper"],
+            [(n, f"{m:.0f} ms", f"{p:.0f} ms") for n, m, p in ctrl.rows()],
+        )
+    )
+    cop = run_copier_overhead(seed=args.seed)
+    print("\nCopier transactions (§2.2.3):")
+    print(
+        format_table(
+            ["measurement", "measured", "paper"],
+            [(n, f"{m:.0f} ms", f"{p:.0f} ms") for n, m, p in cop.rows()],
+        )
+    )
+    print(
+        f"\ncopier increase: +{cop.increase_pct:.0f} % (paper: +45 %), "
+        f"clearing share: {cop.clearing_share_pct:.0f} pts (paper: ~30 pts)"
+    )
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure1
+
+    result = run_figure1(seed=args.seed)
+    print(result.chart())
+    report = result.report
+    print(
+        f"\npeak {report.peak_locks}/50 fail-locked; "
+        f"{report.txns_to_recover} txns to recover; "
+        f"{result.copiers} copiers; {result.aborts} aborts"
+    )
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments import run_scenario1
+
+    result = run_scenario1(seed=args.seed)
+    print(result.chart())
+    print(f"\naborts: {result.aborts} (paper: 13) — {result.abort_reasons}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments import run_scenario2
+
+    result = run_scenario2(seed=args.seed)
+    print(result.chart())
+    print(f"\naborts: {result.aborts} (paper: 0)")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+    from repro.experiments.report import format_table
+
+    print("A1 two-step recovery:")
+    print(
+        format_table(
+            ["policy", "threshold", "txns to recover", "copiers"],
+            [
+                (r.policy, r.threshold, r.txns_to_recover, r.copiers)
+                for r in ablations.run_two_step_recovery(seed=args.seed)
+            ],
+        )
+    )
+    print("\nA4 strategy comparison:")
+    print(
+        format_table(
+            ["strategy", "commits", "aborts"],
+            [
+                (r.strategy, r.commits, r.aborts)
+                for r in ablations.run_strategy_comparison(seed=args.seed)
+            ],
+        )
+    )
+    print("\nA5 failure detection:")
+    print(
+        format_table(
+            ["detection", "commits", "aborts"],
+            [
+                (r.detection, r.commits, r.aborts)
+                for r in ablations.run_failure_detection(seed=args.seed)
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_concurrent(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.system.config import SystemConfig
+    from repro.system.openloop import run_open_loop
+
+    rows = []
+    for rate in args.rates:
+        config = SystemConfig(
+            seed=args.seed,
+            concurrency_control=True,
+            cores=5,
+            wire_latency_ms=9.0,
+            max_txn_size=5,
+        )
+        result = run_open_loop(config, txn_count=args.txns, arrival_rate_tps=rate)
+        rows.append(
+            (
+                rate,
+                f"{result.throughput_tps:.1f}",
+                f"{result.latency.mean:.0f} ms",
+                result.lock_parks,
+                result.deadlock_aborts,
+            )
+        )
+    print(
+        format_table(
+            ["arrival (tps)", "throughput", "mean latency", "lock waits",
+             "deadlock aborts"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    content = generate_report(seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Bhargava/Noll/Sabo 1987: replicated copy "
+        "control during site failure and recovery.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="run seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("exp1", help="§2 overhead tables").set_defaults(fn=_cmd_exp1)
+    sub.add_parser("fig1", help="§3 Figure 1").set_defaults(fn=_cmd_fig1)
+    sub.add_parser("fig2", help="§4 Figure 2").set_defaults(fn=_cmd_fig2)
+    sub.add_parser("fig3", help="§4 Figure 3").set_defaults(fn=_cmd_fig3)
+    sub.add_parser("ablations", help="design-choice studies").set_defaults(
+        fn=_cmd_ablations
+    )
+
+    concurrent = sub.add_parser("concurrent", help="complete-RAID sweep")
+    concurrent.add_argument("--txns", type=int, default=300)
+    concurrent.add_argument(
+        "--rates", type=float, nargs="+", default=[2.0, 6.0, 12.0]
+    )
+    concurrent.set_defaults(fn=_cmd_concurrent)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

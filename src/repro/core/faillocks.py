@@ -1,0 +1,189 @@
+"""Fail-locks: the out-of-date marker for replicated copies (paper §1.1).
+
+Each data item carries one fail-lock bit per site.  Bit ``k`` set on item
+``x`` means: *site k's copy of x missed an update while k was unavailable*.
+Operational sites set the bit on behalf of the failed site during commit;
+the bit is cleared when the copy is refreshed — by a transaction write
+reaching the site, or by a copier transaction.
+
+The paper implements the table as a bit map per data item sized by the
+number of sites, "allowing the fail-lock operations to be performed very
+quickly" — we keep exactly that representation (a Python int used as a bit
+mask per item).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import FailLockError
+from repro.core.sessions import NominalSessionVector, SiteState
+
+
+class FailLockTable:
+    """Fail-lock bit maps for every data item, as kept by one site."""
+
+    def __init__(self, site_ids: Iterable[int], item_ids: Iterable[int]) -> None:
+        self.site_ids = sorted(site_ids)
+        self._bit_of = {site: 1 << index for index, site in enumerate(self.site_ids)}
+        self._masks: dict[int, int] = {item: 0 for item in item_ids}
+
+    # -- bit bookkeeping -----------------------------------------------------
+
+    def _bit(self, site_id: int) -> int:
+        try:
+            return self._bit_of[site_id]
+        except KeyError:
+            raise FailLockError(f"unknown site {site_id}") from None
+
+    def _mask(self, item_id: int) -> int:
+        try:
+            return self._masks[item_id]
+        except KeyError:
+            raise FailLockError(f"unknown item {item_id}") from None
+
+    @property
+    def item_ids(self) -> list[int]:
+        """All item ids tracked, sorted."""
+        return sorted(self._masks)
+
+    def add_item(self, item_id: int) -> None:
+        """Track a new item (type-3 control transaction support)."""
+        if item_id in self._masks:
+            raise FailLockError(f"item {item_id} already tracked")
+        self._masks[item_id] = 0
+
+    # -- single-bit operations -------------------------------------------------
+
+    def set_lock(self, item_id: int, site_id: int) -> None:
+        """Mark ``site_id``'s copy of ``item_id`` out-of-date."""
+        self._masks[item_id] = self._mask(item_id) | self._bit(site_id)
+
+    def clear_lock(self, item_id: int, site_id: int) -> None:
+        """Mark ``site_id``'s copy of ``item_id`` refreshed."""
+        self._masks[item_id] = self._mask(item_id) & ~self._bit(site_id)
+
+    def is_locked(self, item_id: int, site_id: int) -> bool:
+        """Whether ``site_id``'s copy of ``item_id`` is out-of-date."""
+        return bool(self._mask(item_id) & self._bit(site_id))
+
+    def mask(self, item_id: int) -> int:
+        """The raw bit mask for ``item_id``."""
+        return self._mask(item_id)
+
+    # -- commit-time maintenance (paper §1.2) -----------------------------------
+
+    def update_on_commit(
+        self, written_items: Iterable[int], vector: NominalSessionVector
+    ) -> int:
+        """Fail-lock maintenance for one committed transaction.
+
+        For every written item and every site: a DOWN site missed the
+        update, so its bit is *set*; an UP site received it, so its bit is
+        *cleared* ("this resulted in some fail-lock bits being re-cleared
+        for an operational site", §1.2 — the unconditional form the paper
+        found more efficient than branching on site state).  RECOVERING and
+        TERMINATING sites are treated as having missed the update.
+
+        Returns the number of bit operations performed (for cost models).
+        """
+        set_mask = 0
+        clear_mask = 0
+        operations = 0
+        for site in self.site_ids:
+            operations += 1
+            if vector.state_of(site) is SiteState.UP:
+                clear_mask |= self._bit_of[site]
+            else:
+                set_mask |= self._bit_of[site]
+        count = 0
+        for item in written_items:
+            self._masks[item] = (self._mask(item) | set_mask) & ~clear_mask
+            count += operations
+        return count
+
+    def update_with_recipients(
+        self, recipients_of: dict[int, Iterable[int]]
+    ) -> int:
+        """Commit maintenance from the *actual* update recipients.
+
+        ``recipients_of[item]`` is the set of sites that received this
+        commit's update for ``item`` (the coordinator's write-all-available
+        set).  A recipient's copy is now current — clear its bit; every
+        other site missed the update — set its bit.
+
+        This is the exact form of the paper's §1.2 rule: examining the
+        nominal session vector is equivalent *when the vector is accurate*,
+        but a participant whose vector is stale (timeout detection, message
+        races) would wrongly re-clear a down site's bit.  Deriving the
+        clears from the recipient set closes that hole.
+
+        Returns the number of bit operations performed.
+        """
+        count = 0
+        all_mask = (1 << len(self.site_ids)) - 1
+        for item, recipients in recipients_of.items():
+            self._mask(item)  # validate the item exists
+            recipient_mask = 0
+            for site in recipients:
+                recipient_mask |= self._bit(site)
+            # The written value is now THE copy: exactly the non-recipients
+            # are stale, whatever the previous mask said.
+            self._masks[item] = all_mask & ~recipient_mask
+            count += len(self.site_ids)
+        return count
+
+    # -- recovery-side queries ----------------------------------------------------
+
+    def locked_items_for(self, site_id: int) -> list[int]:
+        """Items whose copy on ``site_id`` is out-of-date, sorted."""
+        bit = self._bit(site_id)
+        return sorted(item for item, mask in self._masks.items() if mask & bit)
+
+    def count_for(self, site_id: int) -> int:
+        """Number of out-of-date copies on ``site_id``."""
+        bit = self._bit(site_id)
+        return sum(1 for mask in self._masks.values() if mask & bit)
+
+    def total_locks(self) -> int:
+        """Total set bits across all items (system-wide inconsistency)."""
+        return sum(mask.bit_count() for mask in self._masks.values())
+
+    def up_to_date_sites(self, item_id: int) -> list[int]:
+        """Sites whose copy of ``item_id`` is current, sorted."""
+        mask = self._mask(item_id)
+        return [s for s in self.site_ids if not mask & self._bit_of[s]]
+
+    # -- replication of the table itself ---------------------------------------
+
+    def snapshot(self) -> dict[int, int]:
+        """``{item_id: mask}`` — what a type-1 reply ships."""
+        return dict(self._masks)
+
+    def install(self, masks: dict[int, int]) -> None:
+        """Adopt a peer's table wholesale (type-1 install).
+
+        The recovering site has been away; the peer's table is strictly
+        better informed, so this replaces rather than merges.
+        """
+        for item in masks:
+            if item not in self._masks:
+                raise FailLockError(f"unknown item {item} in installed table")
+        for item, mask in masks.items():
+            self._masks[item] = mask
+
+    def merge(self, masks: dict[int, int]) -> None:
+        """OR a peer's table into this one (conservative union)."""
+        for item, mask in masks.items():
+            self._masks[item] = self._mask(item) | mask
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailLockTable):
+            return NotImplemented
+        return self.site_ids == other.site_ids and self._masks == other._masks
+
+    def __repr__(self) -> str:
+        return (
+            f"FailLockTable(sites={len(self.site_ids)}, items={len(self._masks)}, "
+            f"locks={self.total_locks()})"
+        )

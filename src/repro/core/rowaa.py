@@ -1,0 +1,100 @@
+"""Read-one / write-all-available planning (paper §1.1).
+
+ROWAA allows transaction processing as long as a single copy is available:
+reads are served from one up-to-date copy (the coordinator's own, in
+mini-RAID's fully replicated setting), and writes go to every *operational*
+copy — a site known to be down is simply skipped, which "saves the time
+that would be wasted in waiting for responses from an unavailable site".
+
+The planner is pure: it inspects the coordinator's nominal session vector,
+fail-lock table, and the replication catalog, and returns decisions; the
+coordinator state machine executes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.faillocks import FailLockTable
+from repro.core.sessions import NominalSessionVector
+from repro.storage.catalog import ReplicationCatalog
+
+
+class ReadSource(enum.Enum):
+    """Where a read of an item can be satisfied."""
+
+    LOCAL = "local"                  # own copy, up to date
+    REMOTE = "remote"                # no local copy; read a peer's
+    COPIER_NEEDED = "copier_needed"  # own copy exists but is fail-locked
+    UNAVAILABLE = "unavailable"      # no reachable up-to-date copy anywhere
+
+
+@dataclass(slots=True)
+class ReadPlan:
+    """The planner's decision for one read operation."""
+
+    item_id: int
+    source: ReadSource
+    site_id: int = -1  # peer to read from / copier source, when applicable
+
+
+class RowaaPlanner:
+    """Plans reads and write sets for one coordinating site."""
+
+    def __init__(
+        self,
+        owner: int,
+        vector: NominalSessionVector,
+        faillocks: FailLockTable,
+        catalog: ReplicationCatalog,
+    ) -> None:
+        self.owner = owner
+        self.vector = vector
+        self.faillocks = faillocks
+        self.catalog = catalog
+
+    def up_to_date_source(self, item_id: int, exclude_owner: bool = True) -> int:
+        """An operational site holding a current copy of ``item_id``.
+
+        Returns the lowest such site id, or -1 if none exists — the
+        situation that forces a transaction abort in the paper's scenario 1.
+        """
+        current = set(self.faillocks.up_to_date_sites(item_id))
+        for site in self.vector.operational_sites():
+            if exclude_owner and site == self.owner:
+                continue
+            if site in current and self.catalog.holds(site, item_id):
+                return site
+        return -1
+
+    def plan_read(self, item_id: int) -> ReadPlan:
+        """Decide how a read of ``item_id`` at the owner is satisfied."""
+        if self.catalog.holds(self.owner, item_id):
+            if not self.faillocks.is_locked(item_id, self.owner):
+                return ReadPlan(item_id=item_id, source=ReadSource.LOCAL)
+            source = self.up_to_date_source(item_id)
+            if source < 0:
+                return ReadPlan(item_id=item_id, source=ReadSource.UNAVAILABLE)
+            return ReadPlan(item_id=item_id, source=ReadSource.COPIER_NEEDED, site_id=source)
+        source = self.up_to_date_source(item_id)
+        if source < 0:
+            return ReadPlan(item_id=item_id, source=ReadSource.UNAVAILABLE)
+        return ReadPlan(item_id=item_id, source=ReadSource.REMOTE, site_id=source)
+
+    def write_sites(self, item_id: int) -> list[int]:
+        """All operational sites holding a copy of ``item_id`` (sorted).
+
+        This is ROWAA's "write all available": the coordinator updates every
+        copy it believes reachable, and fail-locks cover the rest.
+        """
+        holders = self.catalog.holders(item_id)
+        return [s for s in self.vector.operational_sites() if s in holders]
+
+    def participants_for(self, written_items: list[int]) -> list[int]:
+        """Operational peers that must receive phase-1 copy updates."""
+        sites: set[int] = set()
+        for item in written_items:
+            sites.update(self.write_sites(item))
+        sites.discard(self.owner)
+        return sorted(sites)

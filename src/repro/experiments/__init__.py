@@ -1,0 +1,39 @@
+"""Experiment runners: one per table/figure in the paper, plus ablations.
+
+=========  ==========================================================
+paper      runner
+=========  ==========================================================
+§2.2.1     :func:`repro.experiments.exp1.run_faillock_overhead`
+§2.2.2     :func:`repro.experiments.exp1.run_control_overhead`
+§2.2.3     :func:`repro.experiments.exp1.run_copier_overhead`
+Figure 1   :func:`repro.experiments.exp2.run_figure1`
+Figure 2   :func:`repro.experiments.exp3.run_scenario1`
+Figure 3   :func:`repro.experiments.exp3.run_scenario2`
+§3.2/§5    :mod:`repro.experiments.ablations`
+=========  ==========================================================
+"""
+
+from repro.experiments.exp1 import (
+    run_faillock_overhead,
+    run_control_overhead,
+    run_copier_overhead,
+    FaillockOverheadResult,
+    ControlOverheadResult,
+    CopierOverheadResult,
+)
+from repro.experiments.exp2 import run_figure1, Figure1Result
+from repro.experiments.exp3 import run_scenario1, run_scenario2, ScenarioResult
+
+__all__ = [
+    "run_faillock_overhead",
+    "run_control_overhead",
+    "run_copier_overhead",
+    "FaillockOverheadResult",
+    "ControlOverheadResult",
+    "CopierOverheadResult",
+    "run_figure1",
+    "Figure1Result",
+    "run_scenario1",
+    "run_scenario2",
+    "ScenarioResult",
+]

@@ -1,0 +1,99 @@
+"""Multi-seed replication of the experiments.
+
+The paper ran "sets of transactions ... repeatedly over a two month
+period" and reported averages.  These helpers re-run each experiment
+across many seeds and summarize the distribution, giving the reproduction
+confidence intervals instead of single draws — and giving tests a way to
+assert that the headline results are stable properties, not lucky seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.exp1 import run_faillock_overhead
+from repro.experiments.exp2 import run_figure1
+from repro.experiments.exp3 import run_scenario1, run_scenario2
+from repro.metrics.stats import mean, stddev
+
+
+@dataclass(slots=True)
+class Replicated:
+    """A statistic replicated across seeds."""
+
+    name: str
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Normal-approximation 95 % confidence half-width."""
+        if len(self.values) < 2:
+            return 0.0
+        return 1.96 * stddev(self.values) / math.sqrt(len(self.values))
+
+    @property
+    def low(self) -> float:
+        return min(self.values)
+
+    @property
+    def high(self) -> float:
+        return max(self.values)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.1f} ± {self.ci95_half_width:.1f} "
+            f"(range {self.low:.1f}..{self.high:.1f}, n={len(self.values)})"
+        )
+
+
+def replicate_figure1(seeds: tuple[int, ...] = tuple(range(1, 11))) -> dict[str, Replicated]:
+    """Figure 1 headline numbers across seeds."""
+    peaks, recoveries, copiers, aborts = [], [], [], []
+    for seed in seeds:
+        result = run_figure1(seed=seed)
+        peaks.append(100.0 * result.peak_fraction)
+        recoveries.append(float(result.report.txns_to_recover))
+        copiers.append(float(result.copiers))
+        aborts.append(float(result.aborts))
+    return {
+        "peak_pct": Replicated("peak fail-locked %", peaks),
+        "txns_to_recover": Replicated("txns to recover", recoveries),
+        "copiers": Replicated("copier txns", copiers),
+        "aborts": Replicated("aborts", aborts),
+    }
+
+
+def replicate_scenario1(seeds: tuple[int, ...] = tuple(range(1, 11))) -> Replicated:
+    """Scenario 1's abort count across seeds (paper's single draw: 13)."""
+    return Replicated(
+        "scenario 1 aborts",
+        [float(run_scenario1(seed=seed, settle=False).aborts) for seed in seeds],
+    )
+
+
+def replicate_scenario2(seeds: tuple[int, ...] = tuple(range(1, 11))) -> Replicated:
+    """Scenario 2's abort count across seeds (paper: 0, structurally)."""
+    return Replicated(
+        "scenario 2 aborts",
+        [float(run_scenario2(seed=seed, settle=False).aborts) for seed in seeds],
+    )
+
+
+def replicate_faillock_overhead(
+    seeds: tuple[int, ...] = tuple(range(1, 6))
+) -> dict[str, Replicated]:
+    """Experiment 1's fail-lock overhead percentages across seeds."""
+    coord, part = [], []
+    for seed in seeds:
+        result = run_faillock_overhead(seed=seed, txns=150)
+        coord.append(result.coord_overhead_pct)
+        part.append(result.part_overhead_pct)
+    return {
+        "coord_pct": Replicated("coordinator overhead %", coord),
+        "part_pct": Replicated("participant overhead %", part),
+    }

@@ -1,0 +1,88 @@
+"""Measurement record types.
+
+One row per measured thing, in the vocabulary of the paper's experiments:
+transaction timings split by coordinator/participant role (Experiment 1),
+control transaction durations by type and role (Experiment 1), copier
+exchanges (Experiments 1 and 2), and per-transaction fail-lock samples (the
+series plotted in Figures 1–3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.txn.transaction import AbortReason
+
+
+@dataclass(slots=True)
+class TxnRecord:
+    """Outcome and timing of one database transaction."""
+
+    txn_id: int
+    seq: int                      # 1-based submission order (the x axis)
+    coordinator: int
+    committed: bool
+    abort_reason: AbortReason
+    size: int                     # number of operations
+    items_read: int
+    items_written: int
+    submitted_at: float
+    finished_at: float
+    coordinator_elapsed: float    # reception -> 2PC completion (§2.2.1)
+    participant_elapsed: dict[int, float] = field(default_factory=dict)
+    copiers_requested: int = 0
+    clear_notices_sent: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """End-to-end time as the managing site saw it."""
+        return self.finished_at - self.submitted_at
+
+
+@dataclass(slots=True)
+class ControlRecord:
+    """One control transaction occurrence."""
+
+    kind: int                     # 1, 2, or 3
+    site_id: int                  # where the duration was measured
+    role: str                     # "recovering" | "operational" | "announcer"
+    started_at: float
+    finished_at: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass(slots=True)
+class CopierRecord:
+    """One copier exchange (request -> copies installed)."""
+
+    txn_id: int
+    requester: int
+    source: int
+    items: int
+    batch: bool
+    started_at: float
+    finished_at: float = -1.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass(slots=True)
+class FailLockSample:
+    """Fail-lock counts observed after one transaction completes.
+
+    ``locks_per_site[k]`` is the number of data items whose copy on site
+    ``k`` is out-of-date — exactly the y axis of Figures 1–3.
+    """
+
+    seq: int
+    time: float
+    locks_per_site: dict[int, int]
+
+    def total(self) -> int:
+        """System-wide fail-locks (the paper's inconsistency measure)."""
+        return sum(self.locks_per_site.values())

@@ -1,0 +1,94 @@
+"""Small, dependency-free summary statistics.
+
+The paper reports averages of times recorded "after a stable state of
+transaction processing was achieved"; :func:`summarize` provides the same
+plus dispersion, for experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median; 0.0 for an empty input."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100), linear interpolation; 0.0 if empty."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {p}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(slots=True, frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} med={self.median:.1f} "
+            f"sd={self.stddev:.1f} min={self.minimum:.1f} max={self.maximum:.1f} "
+            f"p95={self.p95:.1f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` (all zeros for an empty sample)."""
+    values = list(values)
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        median=median(values),
+        stddev=stddev(values),
+        minimum=min(values),
+        maximum=max(values),
+        p95=percentile(values, 95.0),
+    )

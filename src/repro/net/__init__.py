@@ -1,0 +1,31 @@
+"""Reliable message-passing substrate.
+
+The paper assumes (its §1.2 assumption 1) a reliable transport: no loss, no
+reordering, no corruption.  This package provides exactly that — FIFO
+channels between registered endpoints — plus the pieces the paper's testbed
+had implicitly: a latency/cost model for each communication (measured at
+9 ms per inter-site message in mini-RAID), partition injection for the
+network-partition scenarios the protocol is designed to survive, and a
+message trace for debugging and metrics.
+"""
+
+from repro.net.message import Message, MessageType
+from repro.net.latency import ConstantLatency, UniformLatency, LatencyModel
+from repro.net.endpoint import Endpoint, HandlerContext
+from repro.net.network import Network
+from repro.net.partition import PartitionManager
+from repro.net.trace import MessageTrace, TraceEntry
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "Endpoint",
+    "HandlerContext",
+    "Network",
+    "PartitionManager",
+    "MessageTrace",
+    "TraceEntry",
+]

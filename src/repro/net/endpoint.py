@@ -1,0 +1,96 @@
+"""Endpoint base class and the handler execution model.
+
+A site in mini-RAID is a process that sleeps until a message arrives, does
+some work, sends some messages, and sleeps again.  We reproduce that shape:
+an :class:`Endpoint` implements ``handle(ctx, msg)`` as a *synchronous*
+function that mutates its own state, charges simulated CPU milliseconds via
+``ctx.charge``, and queues outgoing messages via ``ctx.send``.  The network
+then runs the accumulated cost on the shared CPU and releases the outgoing
+messages when the work completes — so all timing falls out of the cost
+model, while protocol code stays straight-line and testable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.net.message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.network import Network
+
+
+class HandlerContext:
+    """Per-activation scratchpad: accumulated cost, outbox, timers."""
+
+    __slots__ = ("network", "endpoint", "cost", "outbox", "timers", "completions")
+
+    def __init__(self, network: "Network", endpoint: "Endpoint") -> None:
+        self.network = network
+        self.endpoint = endpoint
+        self.cost = 0.0
+        self.outbox: list[Message] = []
+        self.timers: list[tuple[float, Callable[["HandlerContext"], None]]] = []
+        self.completions: list[Callable[[], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Simulated time at which this activation began."""
+        return self.network.scheduler.now
+
+    def charge(self, milliseconds: float) -> None:
+        """Add processing cost to this activation."""
+        if milliseconds < 0:
+            raise ValueError(f"cannot charge negative time: {milliseconds}")
+        self.cost += milliseconds
+
+    def send(
+        self,
+        dst: int,
+        mtype: MessageType,
+        payload: Optional[dict[str, Any]] = None,
+        txn_id: int = -1,
+        session: int = -1,
+    ) -> Message:
+        """Queue a message; it leaves when this activation's work finishes."""
+        msg = Message(
+            src=self.endpoint.site_id,
+            dst=dst,
+            mtype=mtype,
+            payload=payload if payload is not None else {},
+            txn_id=txn_id,
+            session=session,
+        )
+        self.outbox.append(msg)
+        return msg
+
+    def after(self, delay: float, fn: Callable[["HandlerContext"], None]) -> None:
+        """Run ``fn`` in a fresh activation ``delay`` ms after this one ends."""
+        if delay < 0:
+            raise ValueError(f"negative timer delay: {delay}")
+        self.timers.append((delay, fn))
+
+    def on_done(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` (no new activation) when this activation's work ends."""
+        self.completions.append(fn)
+
+
+class Endpoint(abc.ABC):
+    """A message-driven process attached to the network."""
+
+    def __init__(self, site_id: int) -> None:
+        self.site_id = site_id
+        self.alive = True
+
+    @abc.abstractmethod
+    def handle(self, ctx: HandlerContext, msg: Message) -> None:
+        """Process one delivered message."""
+
+    def on_delivery_failed(self, ctx: HandlerContext, msg: Message) -> None:
+        """Called when a message this endpoint sent could not be delivered
+        (destination down or partitioned away).  Default: ignore."""
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"{type(self).__name__}(site={self.site_id}, {state})"

@@ -1,0 +1,54 @@
+"""Wire latency models.
+
+In mini-RAID all sites lived on one machine, so the 9 ms per communication
+was interprocess *processing* cost, not wire time; the cost model charges it
+as CPU.  Wire latency models exist for the "complete RAID" configuration
+(sites on separate machines over Ethernet), where messages spend real time
+in flight while CPUs stay free.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.errors import NetworkError
+
+
+class LatencyModel(abc.ABC):
+    """Strategy that assigns an in-flight delay to each message."""
+
+    @abc.abstractmethod
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        """Milliseconds a message from ``src`` to ``dst`` spends in flight."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``latency_ms`` (default 0: same-machine)."""
+
+    def __init__(self, latency_ms: float = 0.0) -> None:
+        if latency_ms < 0:
+            raise NetworkError(f"latency must be non-negative: {latency_ms}")
+        self.latency_ms = float(latency_ms)
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        return self.latency_ms
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.latency_ms}ms)"
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low_ms, high_ms]`` — crude Ethernet jitter."""
+
+    def __init__(self, low_ms: float, high_ms: float) -> None:
+        if low_ms < 0 or high_ms < low_ms:
+            raise NetworkError(f"bad latency range [{low_ms}, {high_ms}]")
+        self.low_ms = float(low_ms)
+        self.high_ms = float(high_ms)
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency([{self.low_ms}, {self.high_ms}]ms)"

@@ -1,0 +1,79 @@
+"""Protocol messages.
+
+One message type per arrow in the paper's protocol (Appendix A plus the
+control-transaction machinery of §1.1), and a handful of management-plane
+messages that stand in for the managing site's "interactive control".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MessageType(enum.Enum):
+    """Every inter-site message kind in the system."""
+
+    # Managing-site control plane (paper §1.2: the managing site causes
+    # sites to fail and recover and initiates database transactions).
+    MGR_SUBMIT_TXN = "mgr_submit_txn"
+    MGR_TXN_DONE = "mgr_txn_done"
+    MGR_FAIL = "mgr_fail"
+    MGR_RECOVER = "mgr_recover"
+    MGR_RECOVER_DONE = "mgr_recover_done"
+
+    # Two-phase commit (Appendix A).
+    VOTE_REQ = "vote_req"            # phase 1: copy update for written items
+    VOTE_ACK = "vote_ack"            # participant ack of phase 1
+    VOTE_NACK = "vote_nack"          # participant refusal (session changed)
+    COMMIT = "commit"                # phase 2: commit indication
+    COMMIT_ACK = "commit_ack"        # participant ack of phase 2
+    ABORT = "abort"                  # abort indication
+
+    # Copier transactions (§1.1, §2.2.3).
+    COPY_REQ = "copy_req"            # ask an operational site for good copies
+    COPY_RESP = "copy_resp"          # the copies
+    COPY_DENIED = "copy_denied"      # responder has no up-to-date copy
+    CLEAR_FAILLOCKS = "clear_faillocks"  # the "special transaction"
+
+    # Control transactions (§1.1).
+    RECOVERY_ANNOUNCE = "recovery_announce"   # type 1, from recovering site
+    RECOVERY_STATE = "recovery_state"         # type 1 reply: vector+fail-locks
+    FAILURE_ANNOUNCE = "failure_announce"     # type 2
+    CREATE_COPY = "create_copy"               # type 3 (proposed extension)
+    CREATE_COPY_ACK = "create_copy_ack"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Message:
+    """A single inter-site message.
+
+    ``payload`` is a plain dict; the protocol layers define the keys.  The
+    ``txn_id`` ties protocol messages to the transaction they serve, and
+    ``session`` carries the sender's session number so receivers can detect
+    status changes mid-transaction (paper §1.1).
+    """
+
+    src: int
+    dst: int
+    mtype: MessageType
+    payload: dict[str, Any] = field(default_factory=dict)
+    txn_id: int = -1
+    session: int = -1
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = -1.0
+    deliver_time: float = -1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.msg_id} {self.mtype.value} {self.src}->{self.dst} "
+            f"txn={self.txn_id})"
+        )

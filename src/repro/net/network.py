@@ -1,0 +1,205 @@
+"""The network: routing, delivery, failure notices, CPU accounting.
+
+Responsibilities:
+
+* route messages between registered endpoints with FIFO order per channel;
+* charge each activation's cost (receive cost + handler charges + per-message
+  send cost) on the shared :class:`~repro.sim.cpu.CpuResource`, releasing
+  outgoing messages when the work completes;
+* drop messages to down or partitioned-away sites and notify the sender
+  after a failure-detection delay (the paper's reliable transport plus the
+  "transaction ... knows that a particular site k is down" machinery);
+* record every message in the :class:`~repro.net.trace.MessageTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError, UnknownSiteError
+from repro.net.endpoint import Endpoint, HandlerContext
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message, MessageType
+from repro.net.partition import PartitionManager
+from repro.net.trace import MessageTrace
+from repro.sim.cpu import CpuResource
+from repro.sim.rng import DeterministicRng
+from repro.sim.scheduler import EventScheduler
+
+# Messages that must reach a site even while it is marked down.  A down
+# site ignores all traffic until the managing site tells it to recover
+# (paper §1.2: "A failed site would remain inactive until recovery was
+# initiated from the managing site").
+_DELIVER_WHEN_DOWN = frozenset({MessageType.MGR_RECOVER})
+
+
+class Network:
+    """Reliable FIFO message fabric over the event scheduler."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        cpu: CpuResource,
+        rng: DeterministicRng,
+        latency_model: Optional[LatencyModel] = None,
+        msg_send_cost: float = 4.5,
+        msg_recv_cost: float = 4.5,
+        failure_detect_delay: float = 0.0,
+        trace: Optional[MessageTrace] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.cpu = cpu
+        self.latency_model = latency_model if latency_model is not None else ConstantLatency(0.0)
+        if msg_send_cost < 0 or msg_recv_cost < 0:
+            raise NetworkError("message costs must be non-negative")
+        self.msg_send_cost = msg_send_cost
+        self.msg_recv_cost = msg_recv_cost
+        self.failure_detect_delay = failure_detect_delay
+        self.partitions = PartitionManager()
+        # Addresses exempt from partitions (the managing site: it is the
+        # experimenter's control plane, not part of the network under test).
+        self.partition_exempt: set[int] = set()
+        self.trace = trace if trace is not None else MessageTrace()
+        self._endpoints: dict[int, Endpoint] = {}
+        self._latency_rng = rng.stream("net.latency")
+        self._fifo_last: dict[tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_undeliverable = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, endpoint: Endpoint) -> None:
+        """Attach ``endpoint``; its ``site_id`` becomes its address."""
+        if endpoint.site_id in self._endpoints:
+            raise NetworkError(f"site id {endpoint.site_id} already registered")
+        self._endpoints[endpoint.site_id] = endpoint
+
+    def replace_endpoint(self, endpoint: Endpoint) -> None:
+        """Swap in a new endpoint at an existing address (e.g. the open-loop
+        driver taking over the managing site's address)."""
+        if endpoint.site_id not in self._endpoints:
+            raise UnknownSiteError(
+                f"no endpoint at site {endpoint.site_id} to replace"
+            )
+        self._endpoints[endpoint.site_id] = endpoint
+
+    def endpoint(self, site_id: int) -> Endpoint:
+        """The endpoint registered at ``site_id``."""
+        try:
+            return self._endpoints[site_id]
+        except KeyError:
+            raise UnknownSiteError(f"no endpoint registered for site {site_id}") from None
+
+    @property
+    def site_ids(self) -> list[int]:
+        """All registered addresses, sorted."""
+        return sorted(self._endpoints)
+
+    # -- activations -------------------------------------------------------
+
+    def spawn(
+        self,
+        endpoint: Endpoint,
+        fn: Callable[[HandlerContext], None],
+        delay: float = 0.0,
+    ) -> None:
+        """Run ``fn`` as a fresh activation of ``endpoint`` after ``delay``.
+
+        Used to kick off activity that is not a response to a message (the
+        managing site starting a scenario, batch-copier timers, ...).
+        """
+        self.scheduler.schedule(
+            delay,
+            lambda: self._run_activation(endpoint, fn),
+            label=f"spawn@{endpoint.site_id}",
+        )
+
+    def _run_activation(
+        self, endpoint: Endpoint, fn: Callable[[HandlerContext], None]
+    ) -> None:
+        ctx = HandlerContext(self, endpoint)
+        fn(ctx)
+        self._finish_activation(ctx)
+
+    def _finish_activation(self, ctx: HandlerContext) -> None:
+        endpoint = ctx.endpoint
+        total = ctx.cost + len(ctx.outbox) * self.msg_send_cost
+        outbox = list(ctx.outbox)
+        timers = list(ctx.timers)
+        completions = list(ctx.completions)
+
+        def release() -> None:
+            release_time = self.scheduler.now
+            for msg in outbox:
+                self._transmit(msg, release_time)
+            for delay, timer_fn in timers:
+                self.scheduler.schedule(
+                    delay,
+                    lambda f=timer_fn: self._run_activation(endpoint, f),
+                    label=f"timer@{endpoint.site_id}",
+                )
+            for done_fn in completions:
+                done_fn()
+
+        self.cpu.execute(total, release, label=f"work@{endpoint.site_id}")
+
+    # -- transmission ------------------------------------------------------
+
+    def _transmit(self, msg: Message, release_time: float) -> None:
+        msg.send_time = release_time
+        self.messages_sent += 1
+        if msg.dst not in self._endpoints:
+            raise UnknownSiteError(f"message to unregistered site {msg.dst}: {msg}")
+        exempt = msg.src in self.partition_exempt or msg.dst in self.partition_exempt
+        if not exempt and not self.partitions.connected(msg.src, msg.dst):
+            self.messages_undeliverable += 1
+            self.trace.record(msg, delivered=False, reason="partitioned")
+            self._notify_sender_failure(msg)
+            return
+        latency = self.latency_model.sample(msg.src, msg.dst, self._latency_rng)
+        deliver_at = release_time + latency
+        # Reliable FIFO per (src, dst): never deliver before an earlier
+        # message on the same channel.
+        channel = (msg.src, msg.dst)
+        deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
+        self._fifo_last[channel] = deliver_at
+        msg.deliver_time = deliver_at
+        self.scheduler.schedule_at(
+            deliver_at,
+            lambda: self._deliver(msg),
+            label=f"deliver#{msg.msg_id}",
+        )
+
+    def _deliver(self, msg: Message) -> None:
+        endpoint = self._endpoints[msg.dst]
+        if not endpoint.alive and msg.mtype not in _DELIVER_WHEN_DOWN:
+            self.messages_undeliverable += 1
+            self.trace.record(msg, delivered=False, reason="site down")
+            self._notify_sender_failure(msg)
+            return
+        self.messages_delivered += 1
+        self.trace.record(msg, delivered=True)
+        ctx = HandlerContext(self, endpoint)
+        ctx.charge(self.msg_recv_cost)
+        endpoint.handle(ctx, msg)
+        self._finish_activation(ctx)
+
+    def _notify_sender_failure(self, msg: Message) -> None:
+        sender = self._endpoints.get(msg.src)
+        if sender is None or not sender.alive:
+            return
+        self.scheduler.schedule(
+            self.failure_detect_delay,
+            lambda: self._run_activation(
+                sender, lambda ctx: sender.on_delivery_failed(ctx, msg)
+            ),
+            label=f"notice#{msg.msg_id}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(sites={len(self._endpoints)}, sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered}, "
+            f"undeliverable={self.messages_undeliverable})"
+        )

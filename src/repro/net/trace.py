@@ -1,0 +1,86 @@
+"""Message tracing.
+
+Every message the network carries (or fails to carry) is appended to a
+bounded trace.  Experiments use the trace for per-transaction message
+counting; tests use it to assert protocol shapes ("a four-site commit is
+twelve messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.message import Message, MessageType
+
+
+@dataclass(slots=True)
+class TraceEntry:
+    """One observed message, with its fate."""
+
+    msg_id: int
+    src: int
+    dst: int
+    mtype: MessageType
+    txn_id: int
+    send_time: float
+    deliver_time: float
+    delivered: bool
+    reason: str = ""
+
+
+class MessageTrace:
+    """Append-only record of message traffic."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.capacity = capacity
+        self.entries: list[TraceEntry] = []
+        self.dropped_entries = 0
+
+    def record(self, msg: Message, delivered: bool, reason: str = "") -> None:
+        """Append ``msg`` with its delivery outcome."""
+        if len(self.entries) >= self.capacity:
+            self.dropped_entries += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                msg_id=msg.msg_id,
+                src=msg.src,
+                dst=msg.dst,
+                mtype=msg.mtype,
+                txn_id=msg.txn_id,
+                send_time=msg.send_time,
+                deliver_time=msg.deliver_time,
+                delivered=delivered,
+                reason=reason,
+            )
+        )
+
+    def count(
+        self,
+        mtype: MessageType | None = None,
+        txn_id: int | None = None,
+        delivered: bool | None = None,
+    ) -> int:
+        """Number of trace entries matching the given filters."""
+        total = 0
+        for entry in self.entries:
+            if mtype is not None and entry.mtype is not mtype:
+                continue
+            if txn_id is not None and entry.txn_id != txn_id:
+                continue
+            if delivered is not None and entry.delivered is not delivered:
+                continue
+            total += 1
+        return total
+
+    def for_txn(self, txn_id: int) -> list[TraceEntry]:
+        """All entries belonging to transaction ``txn_id``."""
+        return [entry for entry in self.entries if entry.txn_id == txn_id]
+
+    def clear(self) -> None:
+        """Discard all recorded entries."""
+        self.entries.clear()
+        self.dropped_entries = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,29 @@
+"""Replicated-copy-control strategy baselines.
+
+The paper's protocol is ROWAA; its introduction situates it against the
+classic alternatives — strict read-one/write-all, quorum consensus
+[Bern84] [ElAb85], and primary copy.  This package gives each strategy a
+uniform interface for two uses:
+
+* *operational predicates* (can this read/write proceed given which sites
+  are up?) — the same rules the cluster's coordinator enforces when
+  ``SystemConfig.strategy`` selects a baseline; and
+* *analytic availability* (the steady-state probability an operation can
+  proceed when each site is independently up with probability ``p``) —
+  used by the strategy-comparison bench to check the simulated abort rates
+  against closed forms.
+"""
+
+from repro.replication.strategy import ReplicationStrategy
+from repro.replication.rowa import RowaStrategy
+from repro.replication.rowaa import RowaaStrategy
+from repro.replication.quorum import QuorumStrategy
+from repro.replication.primarycopy import PrimaryCopyStrategy
+
+__all__ = [
+    "ReplicationStrategy",
+    "RowaStrategy",
+    "RowaaStrategy",
+    "QuorumStrategy",
+    "PrimaryCopyStrategy",
+]

@@ -1,0 +1,33 @@
+"""Primary copy.
+
+All writes funnel through a designated primary site; reads may use any
+copy.  Availability hinges entirely on the primary: if it is down, no
+writes proceed (absent an election protocol, which this baseline — like
+the 1987-era systems the paper contrasts with — does not include).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.replication.strategy import ReplicationStrategy
+
+
+class PrimaryCopyStrategy(ReplicationStrategy):
+    """Writes require the primary up; reads require any site up."""
+
+    def __init__(self, num_sites: int, primary: int = 0) -> None:
+        super().__init__(num_sites)
+        if not 0 <= primary < num_sites:
+            raise ConfigurationError(f"primary {primary} out of range")
+        self.primary = primary
+
+    def can_read(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= 1
+
+    def can_write(self, up_sites: set[int]) -> bool:
+        return self.primary in up_sites
+
+    def write_availability(self, p: float) -> float:
+        """The primary's own availability (identity matters, not count)."""
+        self._check_p(p)
+        return p

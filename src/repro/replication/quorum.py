@@ -1,0 +1,44 @@
+"""Quorum consensus (weighted voting with equal weights).
+
+The [Bern84]/[ElAb85] family the paper cites: an operation proceeds when it
+can assemble a quorum of copies, with read/write quorum sizes satisfying
+``r + w > n`` and ``w + w > n`` so any two conflicting quorums intersect.
+Version numbers (our item versions) identify the newest copy in a read
+quorum — no fail-locks required, but a minority partition can do nothing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.replication.strategy import ReplicationStrategy
+
+
+class QuorumStrategy(ReplicationStrategy):
+    """Majority quorums by default; custom ``r``/``w`` if valid."""
+
+    def __init__(
+        self, num_sites: int, read_quorum: int | None = None, write_quorum: int | None = None
+    ) -> None:
+        super().__init__(num_sites)
+        majority = num_sites // 2 + 1
+        self.read_quorum = read_quorum if read_quorum is not None else majority
+        self.write_quorum = write_quorum if write_quorum is not None else majority
+        if not 1 <= self.read_quorum <= num_sites:
+            raise ConfigurationError(f"bad read quorum {self.read_quorum}")
+        if not 1 <= self.write_quorum <= num_sites:
+            raise ConfigurationError(f"bad write quorum {self.write_quorum}")
+        if self.read_quorum + self.write_quorum <= num_sites:
+            raise ConfigurationError(
+                f"r + w must exceed n: {self.read_quorum}+{self.write_quorum} "
+                f"<= {num_sites}"
+            )
+        if 2 * self.write_quorum <= num_sites:
+            raise ConfigurationError(
+                f"2w must exceed n: 2*{self.write_quorum} <= {num_sites}"
+            )
+
+    def can_read(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= self.read_quorum
+
+    def can_write(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= self.write_quorum

@@ -1,0 +1,20 @@
+"""Strict read-one / write-ALL.
+
+The classic baseline ROWAA improves on: reads need any copy, but a write
+must update *every* copy, so a single down site blocks all writes.  No
+fail-locks are ever needed — and no writes happen during any failure.
+"""
+
+from __future__ import annotations
+
+from repro.replication.strategy import ReplicationStrategy
+
+
+class RowaStrategy(ReplicationStrategy):
+    """Reads need one site; writes need all of them."""
+
+    def can_read(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= 1
+
+    def can_write(self, up_sites: set[int]) -> bool:
+        return len(up_sites) == self.num_sites

@@ -1,0 +1,20 @@
+"""Read-one / write-all-available — the paper's protocol.
+
+Transaction processing continues "as long as a single copy is available"
+(§1.1): both reads and writes proceed whenever at least one site is up.
+The price is the fail-lock machinery to find and refresh stale copies.
+"""
+
+from __future__ import annotations
+
+from repro.replication.strategy import ReplicationStrategy
+
+
+class RowaaStrategy(ReplicationStrategy):
+    """Available as long as any copy is reachable."""
+
+    def can_read(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= 1
+
+    def can_write(self, up_sites: set[int]) -> bool:
+        return len(up_sites) >= 1

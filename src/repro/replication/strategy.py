@@ -1,0 +1,81 @@
+"""Strategy interface: operational predicates + analytic availability."""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _binomial(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+class ReplicationStrategy(abc.ABC):
+    """One replicated-copy-control discipline over ``num_sites`` copies."""
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"need at least one site: {num_sites}")
+        self.num_sites = num_sites
+
+    # -- operational predicates -------------------------------------------------
+
+    @abc.abstractmethod
+    def can_read(self, up_sites: set[int]) -> bool:
+        """Whether a read can proceed with exactly ``up_sites`` operational."""
+
+    @abc.abstractmethod
+    def can_write(self, up_sites: set[int]) -> bool:
+        """Whether a write can proceed with exactly ``up_sites`` operational."""
+
+    # -- analytic availability ------------------------------------------------------
+
+    def read_availability(self, p: float) -> float:
+        """P(read proceeds) when each site is independently up w.p. ``p``.
+
+        Default: exact enumeration over up-set sizes, assuming the
+        predicate depends only on *how many* sites are up (true for all
+        strategies here except primary copy, which overrides).
+        """
+        self._check_p(p)
+        total = 0.0
+        for k in range(self.num_sites + 1):
+            if self._can_read_count(k):
+                total += _binomial(self.num_sites, k) * p**k * (1 - p) ** (
+                    self.num_sites - k
+                )
+        return total
+
+    def write_availability(self, p: float) -> float:
+        """P(write proceeds) when each site is independently up w.p. ``p``."""
+        self._check_p(p)
+        total = 0.0
+        for k in range(self.num_sites + 1):
+            if self._can_write_count(k):
+                total += _binomial(self.num_sites, k) * p**k * (1 - p) ** (
+                    self.num_sites - k
+                )
+        return total
+
+    def _can_read_count(self, up_count: int) -> bool:
+        """Count-only version of :meth:`can_read` (override if identity of
+        the up sites matters)."""
+        return self.can_read(set(range(up_count)))
+
+    def _can_write_count(self, up_count: int) -> bool:
+        return self.can_write(set(range(up_count)))
+
+    @staticmethod
+    def _check_p(p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"probability must be in [0, 1]: {p}")
+
+    @property
+    def name(self) -> str:
+        """Short strategy name for reports."""
+        return type(self).__name__.removesuffix("Strategy").lower()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_sites={self.num_sites})"

@@ -1,0 +1,23 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's mini-RAID ran every database site as a Unix process on a single
+processor and measured elapsed milliseconds with the processor clock.  This
+package supplies the equivalent laboratory: a virtual clock, an event
+scheduler with deterministic tie-breaking, a CPU resource that serializes
+processing the way a single 1987 processor did, and a seeded random number
+generator so that every run is exactly reproducible.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event
+from repro.sim.scheduler import EventScheduler
+from repro.sim.cpu import CpuResource
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventScheduler",
+    "CpuResource",
+    "DeterministicRng",
+]

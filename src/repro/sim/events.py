@@ -1,0 +1,35 @@
+"""Scheduler events.
+
+An event is a timestamped callback.  Events carry an insertion sequence
+number so that two events scheduled for the same instant always fire in the
+order they were scheduled — this is what makes whole-system runs bitwise
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled action.
+
+    Ordering is ``(time, seq)``: earlier times first, insertion order breaks
+    ties.  The callable itself is excluded from comparisons.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the event's action (the scheduler calls this)."""
+        self.action()

@@ -1,0 +1,134 @@
+"""Deterministic event scheduler (the heart of the simulator).
+
+A binary heap of :class:`~repro.sim.events.Event` ordered by
+``(time, insertion sequence)``.  All system activity — message deliveries,
+CPU completions, timeouts — flows through one scheduler instance, so a run
+is a pure function of the configuration and the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SchedulerError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event
+
+
+class EventScheduler:
+    """Priority-queue event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events that have executed."""
+        return self._fired
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` ms from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+        event = Event(time=self.clock.now + delay, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self.clock.now:
+            raise SchedulerError(
+                f"cannot schedule at {time}, now is {self.clock.now}"
+            )
+        event = Event(time=time, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains.  Returns events fired.
+
+        ``max_events`` is a runaway guard; exceeding it raises
+        :class:`SchedulerError` because a healthy serial-transaction run
+        always drains.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self.step():
+                fired += 1
+                if fired > max_events:
+                    raise SchedulerError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 10_000_000) -> int:
+        """Run until ``predicate()`` is true or the queue drains."""
+        if self._running:
+            raise SchedulerError("scheduler is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while not predicate():
+                if not self.step():
+                    break
+                fired += 1
+                if fired > max_events:
+                    raise SchedulerError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(now={self.clock.now:.3f}, pending={self.pending}, "
+            f"fired={self._fired})"
+        )

@@ -1,0 +1,14 @@
+"""Database sites.
+
+A :class:`~repro.site.site.DatabaseSite` is one mini-RAID site: it holds a
+full copy of the database, a nominal session vector, and a fail-lock table,
+and it plays both protocol roles — coordinator for transactions the
+managing site hands it, participant for everyone else's (paper §1.2 and
+Appendix A).
+"""
+
+from repro.site.site import DatabaseSite
+from repro.site.coordinator import CoordinatorRole
+from repro.site.participant import ParticipantRole
+
+__all__ = ["DatabaseSite", "CoordinatorRole", "ParticipantRole"]

@@ -1,0 +1,469 @@
+"""The coordinating-site role (paper Appendix A.1).
+
+The site that receives a database transaction from the managing site
+coordinates it:
+
+1. If the transaction reads any fail-locked copy, run copier transactions
+   first (and abort if no operational site can supply a good copy).
+2. Phase one: ship the copy updates for written items to every operational
+   participant and collect acks.
+3. Phase two: ship the commit indication, collect commit acks, commit
+   locally, and perform fail-lock maintenance.
+
+A participant discovered down mid-protocol triggers a type-2 control
+transaction; in phase one that aborts the transaction, in phase two the
+commit still completes among the survivors (Appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import copier as copier_mod
+from repro.core.rowaa import ReadSource
+from repro.metrics.records import CopierRecord
+from repro.net.endpoint import HandlerContext
+from repro.net.message import Message, MessageType
+from repro.system.config import ClearNoticeMode, CopyControlStrategy
+from repro.txn.locks import LockMode
+from repro.txn.transaction import AbortReason, Transaction
+from repro.txn.twophase import CommitPhase, CoordinatorState
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.site.site import DatabaseSite
+
+
+def write_value(txn_id: int, item_id: int) -> int:
+    """The deterministic value a transaction writes to an item.
+
+    Encoding the writer and the item makes every copy's provenance
+    auditable in consistency checks.
+    """
+    return txn_id * 100_000 + item_id
+
+
+class CoordinatorRole:
+    """Coordinator-side protocol logic for one site."""
+
+    def __init__(self, site: "DatabaseSite") -> None:
+        self.site = site
+        self.active: dict[int, CoordinatorState] = {}
+        # Copier exchanges in flight: txn_id -> {source site: [item ids]}.
+        self._copier_pending: dict[int, dict[int, list[int]]] = {}
+        self._copier_records: dict[int, list[CopierRecord]] = {}
+        # Fail-locks cleared by copiers, awaiting embedding in a future
+        # VOTE_REQ (ClearNoticeMode.EMBEDDED only).  They accumulate until
+        # this site next coordinates a transaction with participants — a
+        # read-only transaction has no phase one to carry them.
+        self._pending_embedded_clears: list[int] = []
+        self._clear_notice_counts: dict[int, int] = {}
+
+    # -- entry point ------------------------------------------------------------
+
+    def begin(self, ctx: HandlerContext, txn: Transaction) -> None:
+        """Process a transaction received from the managing site."""
+        site = self.site
+        costs = site.costs
+        txn.coordinator = site.site_id
+        txn.submitted_at = ctx.now
+        state = CoordinatorState(txn=txn, started_at=ctx.now)
+        self.active[txn.txn_id] = state
+        ctx.charge(costs.txn_base_cost + costs.op_execute_cost * txn.size)
+
+        if site.lock_service is not None:
+            self._acquire_coordinator_locks(ctx, state)
+            return
+        self._start_protocol(ctx, state)
+
+    def _acquire_coordinator_locks(
+        self, ctx: HandlerContext, state: CoordinatorState
+    ) -> None:
+        """Concurrent mode: take local S/X locks, then run the protocol.
+
+        The abort hook registered with the global detector lets a deadlock
+        victim be killed wherever its wait was detected.
+        """
+        site = self.site
+        txn = state.txn
+        write_set = set(txn.write_items)
+        requests = [(item, LockMode.EXCLUSIVE) for item in sorted(write_set)]
+        requests += [
+            (item, LockMode.SHARED)
+            for item in sorted(set(txn.read_items) - write_set)
+        ]
+        service = site.lock_service
+        assert service is not None
+        if service.detector is not None:
+            txn_id = txn.txn_id
+
+            def abort_victim(_ctx: HandlerContext) -> None:
+                # Run at the coordinator, in its own activation.
+                site.network.spawn(
+                    site, lambda ctx2: self._abort_deadlock(ctx2, txn_id)
+                )
+
+            service.detector.register(txn_id, abort_victim)
+        service.acquire(
+            ctx, txn.txn_id, requests, lambda ctx2: self._start_protocol(ctx2, state)
+        )
+
+    def _abort_deadlock(self, ctx: HandlerContext, txn_id: int) -> None:
+        state = self.active.get(txn_id)
+        if state is None or state.txn.is_done:
+            return
+        self._abort(ctx, state, AbortReason.LOCK_DEADLOCK)
+
+    def _start_protocol(self, ctx: HandlerContext, state: CoordinatorState) -> None:
+        site = self.site
+        txn = state.txn
+        reason = self._strategy_blocks(txn)
+        if reason is not AbortReason.NONE:
+            self._abort(ctx, state, reason)
+            return
+
+        if site.config.strategy is CopyControlStrategy.QUORUM:
+            # Quorum reads are resolved during voting (peers return their
+            # versions); no fail-lock/copier machinery is involved.
+            self._execute_and_vote(ctx, state)
+            return
+
+        # Appendix A: a read of a fail-locked copy demands a copier first.
+        # Under partial replication, reads of items with no local copy
+        # travel over the same exchange (fetched but not installed).
+        stale_reads = []
+        for item in txn.read_items:
+            plan = site.planner.plan_read(item)
+            if plan.source is ReadSource.UNAVAILABLE:
+                self._abort(ctx, state, AbortReason.COPY_UNAVAILABLE)
+                return
+            if plan.source in (ReadSource.COPIER_NEEDED, ReadSource.REMOTE):
+                stale_reads.append((item, plan.site_id))
+        if stale_reads:
+            self._issue_copiers(ctx, state, stale_reads)
+            return
+        self._execute_and_vote(ctx, state)
+
+    def _strategy_blocks(self, txn: Transaction) -> AbortReason:
+        """Availability preconditions of the configured strategy."""
+        site = self.site
+        strategy = site.config.strategy
+        if strategy is CopyControlStrategy.ROWA and txn.write_items:
+            # Strict write-ALL: every copy must be reachable.
+            if len(site.nsv.operational_sites()) < len(site.nsv.site_ids):
+                return AbortReason.WRITE_ALL_BLOCKED
+        if strategy is CopyControlStrategy.QUORUM:
+            majority = len(site.nsv.site_ids) // 2 + 1
+            if len(site.nsv.operational_sites()) < majority:
+                return AbortReason.QUORUM_UNAVAILABLE
+        return AbortReason.NONE
+
+    # -- copier transactions (Appendix A step 1) ---------------------------------
+
+    def _issue_copiers(
+        self,
+        ctx: HandlerContext,
+        state: CoordinatorState,
+        stale_reads: list[tuple[int, int]],
+        batch: bool = False,
+    ) -> None:
+        site = self.site
+        txn_id = state.txn.txn_id
+        state.phase = CommitPhase.COPIER_WAIT
+        by_source: dict[int, list[int]] = {}
+        for item, source in stale_reads:
+            by_source.setdefault(source, []).append(item)
+        self._copier_pending[txn_id] = by_source
+        records = self._copier_records.setdefault(txn_id, [])
+        for source, items in sorted(by_source.items()):
+            ctx.charge(site.costs.copy_request_cost)
+            ctx.send(
+                source,
+                MessageType.COPY_REQ,
+                copier_mod.build_copy_request(items),
+                txn_id=txn_id,
+                session=site.nsv.my_session,
+            )
+            state.copiers_requested += 1
+            site.recovery.note_copier_request(batch=batch)
+            records.append(
+                CopierRecord(
+                    txn_id=txn_id,
+                    requester=site.site_id,
+                    source=source,
+                    items=len(items),
+                    batch=batch,
+                    started_at=ctx.now,
+                )
+            )
+
+    def on_copy_resp(self, ctx: HandlerContext, msg: Message) -> None:
+        """A source site returned good copies."""
+        site = self.site
+        txn_id = msg.txn_id
+        state = self.active.get(txn_id)
+        if state is None or state.phase is not CommitPhase.COPIER_WAIT:
+            return  # stale response for an already-resolved transaction
+        copies = msg.payload["copies"]
+        ctx.charge(site.costs.copy_install_cost * len(copies))
+        local = [c for c in copies if c[0] in site.db]
+        refreshed = copier_mod.apply_copy_response(
+            site.db, site.faillocks, site.site_id, local, ctx.now
+        )
+        if local:
+            site.recovery.note_refreshed_by_copier(len(local), ctx.now)
+        # Items we hold no copy of (partial replication): record the value
+        # for the read, nothing to install or clear.
+        for item, value, _version in copies:
+            if item not in site.db:
+                state.txn.reads[item] = value
+        state.copier_items.extend(item for item, _v, _ver in local)
+        pending = self._copier_pending.get(txn_id, {})
+        pending.pop(msg.src, None)
+        for record in self._copier_records.get(txn_id, []):
+            if record.source == msg.src and record.finished_at < 0:
+                record.finished_at = ctx.now
+        del refreshed  # bookkeeping above is what matters
+        if not pending:
+            self._copiers_complete(ctx, state)
+
+    def on_copy_denied(self, ctx: HandlerContext, msg: Message) -> None:
+        """The source no longer has a good copy — abort (Appendix A)."""
+        state = self.active.get(msg.txn_id)
+        if state is None or state.phase is not CommitPhase.COPIER_WAIT:
+            return
+        self._copier_pending.pop(msg.txn_id, None)
+        self._abort(ctx, state, AbortReason.COPY_UNAVAILABLE)
+
+    def _copiers_complete(self, ctx: HandlerContext, state: CoordinatorState) -> None:
+        """All copier responses installed: propagate the cleared fail-locks,
+        then continue with the database transaction."""
+        site = self.site
+        self._copier_pending.pop(state.txn.txn_id, None)
+        cleared = sorted(set(state.copier_items))
+        for record in self._copier_records.pop(state.txn.txn_id, []):
+            site.metrics.record_copier(record)
+        if cleared and site.config.clear_notice_mode is ClearNoticeMode.SPECIAL_TXN:
+            # The special transaction (§2.2.3): one message per operational
+            # peer, fire-and-forget, telling them which bits we cleared.
+            payload = copier_mod.build_clear_notice(site.site_id, cleared)
+            for peer in site.nsv.operational_peers():
+                ctx.charge(site.costs.clear_notice_format_cost)
+                ctx.send(
+                    peer,
+                    MessageType.CLEAR_FAILLOCKS,
+                    payload,
+                    txn_id=state.txn.txn_id,
+                    session=site.nsv.my_session,
+                )
+            self._note_clear_notices(state, len(site.nsv.operational_peers()))
+        elif cleared:
+            # Embedded mode (§2.2.3's suggested optimization): ride along
+            # with the next phase-1 copy updates this site sends.
+            self._pending_embedded_clears.extend(cleared)
+        self._execute_and_vote(ctx, state)
+
+    def _note_clear_notices(self, state: CoordinatorState, count: int) -> None:
+        self._clear_notice_counts[state.txn.txn_id] = (
+            self._clear_notice_counts.get(state.txn.txn_id, 0) + count
+        )
+
+    # -- execution and phase one ---------------------------------------------------
+
+    def _execute_and_vote(self, ctx: HandlerContext, state: CoordinatorState) -> None:
+        site = self.site
+        txn = state.txn
+
+        # Reads: served from the local copy (fully replicated, and any
+        # fail-locked copy was refreshed by a copier above).  Remote-fetched
+        # values (partial replication) are already in txn.reads.  Under
+        # quorum the local value is provisional until the vote returns
+        # versions.
+        for item in txn.read_items:
+            if item in site.db:
+                txn.reads[item] = site.db.read(item)
+
+        # Writes: deterministic values.  The version is stamped at the
+        # commit point (see _commit_version) so that per-item versions are
+        # monotone in serialization order; -1 is the staging placeholder.
+        state.updates = [
+            (item, write_value(txn.txn_id, item), -1)
+            for item in txn.write_items
+        ]
+        for item, value, _version in state.updates:
+            txn.writes[item] = value
+        # Who actually receives each item's update — the exact clear/set
+        # sets for fail-lock maintenance at every site.
+        state.recipients = {
+            item: site.planner.write_sites(item) for item in txn.write_items
+        }
+
+        participants = site.planner.participants_for(txn.write_items)
+        if site.config.strategy is CopyControlStrategy.QUORUM:
+            # Quorum voting involves every operational peer (reads need
+            # version answers even when nothing is written).
+            participants = site.nsv.operational_peers()
+        if not participants:
+            state.begin_voting([])
+            self._local_commit(ctx, state)
+            return
+
+        state.begin_voting(participants)
+        payload: dict = {"updates": state.updates, "recipients": state.recipients}
+        if site.config.strategy is CopyControlStrategy.QUORUM:
+            payload["read_items"] = txn.read_items
+        if self._pending_embedded_clears:
+            payload["cleared_faillocks"] = {
+                site.site_id: sorted(set(self._pending_embedded_clears))
+            }
+            self._pending_embedded_clears.clear()
+        for peer in participants:
+            ctx.send(
+                peer,
+                MessageType.VOTE_REQ,
+                payload,
+                txn_id=txn.txn_id,
+                session=site.nsv.my_session,
+            )
+
+    def on_vote_ack(self, ctx: HandlerContext, msg: Message) -> None:
+        """Phase-one ack from a participant."""
+        site = self.site
+        state = self.active.get(msg.txn_id)
+        if state is None or state.phase is not CommitPhase.VOTING:
+            return
+        if "read_versions" in msg.payload:
+            self._merge_quorum_reads(state, msg.payload["read_versions"])
+        if state.record_vote(msg.src):
+            state.begin_commit()
+            version = self._commit_version(state)
+            for peer in state.participants:
+                ctx.send(
+                    peer,
+                    MessageType.COMMIT,
+                    {"version": version},
+                    txn_id=msg.txn_id,
+                    session=site.nsv.my_session,
+                )
+            if not state.participants:
+                self._local_commit(ctx, state)
+
+    def _merge_quorum_reads(
+        self, state: CoordinatorState, versions: list[tuple[int, int, int]]
+    ) -> None:
+        """Adopt any newer copies a quorum peer reported for read items."""
+        txn = state.txn
+        for item, value, version in versions:
+            local_version = self.site.db.version(item)
+            if version > local_version and item in txn.reads:
+                txn.reads[item] = value
+
+    def on_vote_nack(self, ctx: HandlerContext, msg: Message) -> None:
+        """A participant refused phase one (stale session): the system's
+        view of this site changed mid-transaction, so abort (§1.1)."""
+        state = self.active.get(msg.txn_id)
+        if state is None or state.phase is not CommitPhase.VOTING:
+            return
+        state.drop_participant(msg.src)
+        self._abort(ctx, state, AbortReason.SESSION_CHANGED)
+
+    def on_commit_ack(self, ctx: HandlerContext, msg: Message) -> None:
+        """Phase-two ack from a participant."""
+        state = self.active.get(msg.txn_id)
+        if state is None or state.phase is not CommitPhase.COMMITTING:
+            return
+        if state.record_commit_ack(msg.src):
+            self._local_commit(ctx, state)
+
+    # -- completion ------------------------------------------------------------------
+
+    def _commit_version(self, state: CoordinatorState) -> int:
+        """Stamp the transaction's commit version (idempotent).
+
+        Read-only transactions write nothing, so they consume no version.
+        """
+        if not state.updates:
+            return -1
+        if state.commit_version < 0:
+            state.commit_version = self.site.version_clock.tick()
+        return state.commit_version
+
+    def _local_commit(self, ctx: HandlerContext, state: CoordinatorState) -> None:
+        site = self.site
+        txn = state.txn
+        version = self._commit_version(state)
+        updates = [(item, value, version) for item, value, _v in state.updates]
+        site.commit_writes(ctx, txn.txn_id, updates, recipients=state.recipients)
+        txn.mark_committed(ctx.now)
+        state.finish()
+        if site.lock_service is not None:
+            site.lock_service.release(ctx, txn.txn_id)
+            if site.lock_service.detector is not None:
+                site.lock_service.detector.forget(txn.txn_id)
+        self._report(ctx, state)
+
+    def _abort(
+        self, ctx: HandlerContext, state: CoordinatorState, reason: AbortReason
+    ) -> None:
+        site = self.site
+        txn = state.txn
+        # Tell any participant holding staged updates to discard them.
+        targets = set(state.pending_votes) | set(state.participants)
+        for peer in sorted(targets):
+            ctx.send(peer, MessageType.ABORT, {}, txn_id=txn.txn_id)
+        for record in self._copier_records.pop(txn.txn_id, []):
+            if record.finished_at < 0:
+                record.finished_at = ctx.now
+            site.metrics.record_copier(record)
+        txn.mark_aborted(reason, ctx.now)
+        state.finish()
+        if site.lock_service is not None:
+            site.lock_service.cancel(ctx, txn.txn_id)
+        self._report(ctx, state)
+
+    def _report(self, ctx: HandlerContext, state: CoordinatorState) -> None:
+        """Send the outcome back to the managing site once the activation's
+        work (the commit processing) has finished."""
+        site = self.site
+        txn = state.txn
+        start = state.started_at
+        clear_notices = self._clear_notice_counts.pop(txn.txn_id, 0)
+
+        def finalize() -> None:
+            elapsed = site.network.scheduler.now - start
+            site.send_outcome(txn, elapsed, state.copiers_requested, clear_notices)
+
+        ctx.on_done(finalize)
+        self.active.pop(txn.txn_id, None)
+
+    # -- failure notices ---------------------------------------------------------------
+
+    def on_delivery_failed(self, ctx: HandlerContext, msg: Message) -> None:
+        """A protocol message bounced: the destination is down (Appendix A's
+        "site to which ... sent is now down" branches)."""
+        site = self.site
+        state = self.active.get(msg.txn_id)
+        if state is not None and msg.mtype is MessageType.COMMIT:
+            # Phase two: the commit completes among the survivors, but the
+            # dead participant never applied its staged updates — its
+            # copies of the written items are stale.  The type-2
+            # announcement carries that corrective fail-lock information
+            # (survivors may have just cleared those very bits).
+            stale = sorted(item for item, _v, _ver in state.updates)
+            site.announce_failure(ctx, [msg.dst], stale_items=stale)
+            for item in list(state.recipients):
+                state.recipients[item] = [
+                    s for s in state.recipients[item] if s != msg.dst
+                ]
+            state.drop_participant(msg.dst)
+            if state.phase is CommitPhase.COMMITTING and not state.pending_commit_acks:
+                self._local_commit(ctx, state)
+            return
+        site.announce_failure(ctx, [msg.dst])
+        if state is None:
+            return
+        if msg.mtype is MessageType.COPY_REQ:
+            self._copier_pending.pop(msg.txn_id, None)
+            self._abort(ctx, state, AbortReason.COPIER_SOURCE_DOWN)
+        elif msg.mtype is MessageType.VOTE_REQ:
+            state.drop_participant(msg.dst)
+            self._abort(ctx, state, AbortReason.PARTICIPANT_FAILED)

@@ -1,0 +1,150 @@
+"""Per-site lock service for the "complete RAID" concurrent mode.
+
+Mini-RAID processed transactions serially (paper assumption 2); the paper
+defers concurrency control to the complete RAID system.  This module
+supplies the site-local half of that future work: each site runs a strict
+two-phase-locking table over its own copies, and a transaction's protocol
+step at the site proceeds only once its locks are granted — otherwise the
+step *parks* and resumes when a conflicting transaction releases.
+
+Blocked requests report their blockers to the cluster's global deadlock
+detector (see :mod:`repro.system.deadlock`), mirroring a System R*-style
+centralized waits-for service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.net.endpoint import HandlerContext
+from repro.txn.locks import LockManager, LockMode
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.site.site import DatabaseSite
+    from repro.system.deadlock import GlobalDeadlockDetector
+
+
+@dataclass(slots=True)
+class _Parked:
+    """A lock acquisition waiting at this site."""
+
+    txn_id: int
+    remaining: list[tuple[int, LockMode]]
+    continuation: Callable[[HandlerContext], None]
+    cancelled: bool = False
+    # True while a resume activation is scheduled but not yet run; guards
+    # against double-resume when several releases land in one instant.
+    in_flight: bool = False
+
+
+class SiteLockService:
+    """Strict 2PL over one site's copies, with parked continuations."""
+
+    def __init__(self, site: "DatabaseSite") -> None:
+        self.site = site
+        self.manager = LockManager()
+        self.detector: Optional["GlobalDeadlockDetector"] = None
+        self._parked: dict[int, _Parked] = {}
+        self.parks = 0
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(
+        self,
+        ctx: HandlerContext,
+        txn_id: int,
+        requests: list[tuple[int, LockMode]],
+        continuation: Callable[[HandlerContext], None],
+    ) -> None:
+        """Acquire ``requests`` (in item order) then run ``continuation``.
+
+        If every lock is free the continuation runs synchronously within
+        the current activation (the fast path — no extra latency).  On
+        conflict the request parks; the continuation later runs in a fresh
+        activation once the final lock is granted.
+        """
+        ordered = sorted(requests, key=lambda r: r[0])
+        self._try_acquire(ctx, _Parked(txn_id, ordered, continuation), first=True)
+
+    def _try_acquire(self, ctx: HandlerContext, parked: _Parked, first: bool) -> None:
+        site = self.site
+        while parked.remaining:
+            item, mode = parked.remaining[0]
+            ctx.charge(site.costs.lock_request_cost)
+            grant = self.manager.request(parked.txn_id, item, mode)
+            if grant.granted:
+                parked.remaining.pop(0)
+                continue
+            # Blocked: park and tell the global detector.
+            self._parked[parked.txn_id] = parked
+            if first:
+                self.parks += 1
+            if self.detector is not None:
+                self.detector.block(
+                    ctx, site.site_id, parked.txn_id, grant.waiting_for
+                )
+            return
+        self._parked.pop(parked.txn_id, None)
+        if self.detector is not None:
+            self.detector.unblock(self.site.site_id, parked.txn_id)
+        parked.continuation(ctx)
+
+    # -- release -------------------------------------------------------------------
+
+    def release(self, ctx: HandlerContext, txn_id: int) -> None:
+        """Strict release at commit/abort; resumes newly granted waiters."""
+        ctx.charge(self.site.costs.lock_release_cost)
+        granted = self.manager.release_all(txn_id)
+        self._parked.pop(txn_id, None)
+        resumed: set[int] = set()
+        for newly in granted.values():
+            resumed.update(newly)
+        for waiter in sorted(resumed):
+            self._resume(waiter)
+
+    def _resume(self, waiter: int) -> None:
+        parked = self._parked.get(waiter)
+        if parked is None or parked.cancelled or parked.in_flight:
+            return
+        if not parked.remaining:
+            return
+        head_item, mode = parked.remaining[0]
+        held = self.manager.holders_of(head_item).get(waiter)
+        granted = held is LockMode.EXCLUSIVE or (
+            mode is LockMode.SHARED and held is LockMode.SHARED
+        )
+        if not granted:
+            return  # spurious wake-up: the head lock was not granted to us
+        parked.remaining.pop(0)
+        parked.in_flight = True
+        if self.detector is not None:
+            self.detector.unblock(self.site.site_id, waiter)
+
+        def go(ctx: HandlerContext) -> None:
+            parked.in_flight = False
+            if parked.cancelled:
+                return
+            self._try_acquire(ctx, parked, first=False)
+
+        self.site.network.spawn(self.site, go)
+
+    def cancel(self, ctx: HandlerContext, txn_id: int) -> None:
+        """Abort path: drop any parked continuation and release locks."""
+        parked = self._parked.pop(txn_id, None)
+        if parked is not None:
+            parked.cancelled = True
+        self.release(ctx, txn_id)
+        if self.detector is not None:
+            self.detector.forget(txn_id)
+
+    @property
+    def parked_txns(self) -> list[int]:
+        """Transactions currently waiting at this site, sorted."""
+        return sorted(self._parked)
+
+    def __repr__(self) -> str:
+        return (
+            f"SiteLockService(site={self.site.site_id}, "
+            f"parked={self.parked_txns}, {self.manager!r})"
+        )

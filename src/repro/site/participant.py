@@ -1,0 +1,167 @@
+"""The participating-site role (paper Appendix A.2).
+
+Phase one: receive the copy updates from the coordinating site, buffer
+them, acknowledge.  Phase two: on the commit indication, apply the buffered
+updates, perform fail-lock maintenance, acknowledge; on an abort
+indication, discard the buffered updates.
+
+The participant also measures its own elapsed time — "between the start of
+the site's participation in phase one of the protocol and the completion of
+the site's participation in phase two" (§2.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import copier as copier_mod
+from repro.net.endpoint import HandlerContext
+from repro.net.message import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.site.site import DatabaseSite
+
+
+class ParticipantRole:
+    """Participant-side protocol logic for one site."""
+
+    def __init__(self, site: "DatabaseSite") -> None:
+        self.site = site
+        # txn_id -> (phase-one start time, updates, per-item recipients)
+        self._in_flight: dict[
+            int, tuple[float, list[tuple[int, int, int]], dict[int, list[int]]]
+        ] = {}
+
+    def on_vote_req(self, ctx: HandlerContext, msg: Message) -> None:
+        """Phase one: buffer the copy updates and acknowledge.
+
+        In the concurrent ("complete RAID") mode, the copy updates are
+        buffered only once this site's exclusive locks on the written items
+        are granted — the acknowledgement waits with them.
+        """
+        site = self.site
+        txn_id = msg.txn_id
+        # Session-number check (§1.1: "a session number is also useful in
+        # determining if the status of a site has changed during the
+        # execution of a transaction").  A coordinator presenting an older
+        # session than we perceive is a ghost from before its own failure:
+        # refuse to participate.  A *newer* session means we missed its
+        # recovery announcement; adopt it and proceed.
+        if msg.session >= 0:
+            perceived = site.nsv.session_of(msg.src)
+            if msg.session < perceived:
+                ctx.send(
+                    msg.src,
+                    MessageType.VOTE_NACK,
+                    {"reason": "stale_session", "perceived": perceived},
+                    txn_id=txn_id,
+                    session=site.nsv.my_session,
+                )
+                return
+            if msg.session > perceived:
+                site.nsv.mark_up(msg.src, msg.session)
+        # Under partial replication, buffer only the items we hold.
+        updates = [tuple(u) for u in msg.payload["updates"] if u[0] in site.db]
+        started = ctx.now
+        if site.lock_service is not None and updates:
+            from repro.txn.locks import LockMode
+
+            requests = [(item, LockMode.EXCLUSIVE) for item, _v, _ver in updates]
+            site.lock_service.acquire(
+                ctx,
+                txn_id,
+                requests,
+                lambda ctx2: self._stage_and_ack(ctx2, msg, updates, started),
+            )
+            return
+        self._stage_and_ack(ctx, msg, updates, started)
+
+    def _stage_and_ack(
+        self,
+        ctx: HandlerContext,
+        msg: Message,
+        updates: list[tuple[int, int, int]],
+        started: float,
+    ) -> None:
+        site = self.site
+        txn_id = msg.txn_id
+        if site.db.has_staged(txn_id):
+            return  # duplicate phase-1 delivery
+        ctx.charge(site.costs.write_stage_cost * len(updates))
+        site.db.stage(txn_id, updates)
+        recipients = {
+            int(item): list(sites)
+            for item, sites in msg.payload.get("recipients", {}).items()
+        }
+        self._in_flight[txn_id] = (started, updates, recipients)
+
+        # Embedded clear-fail-locks information (the §2.2.3 optimization).
+        embedded = msg.payload.get("cleared_faillocks")
+        if embedded:
+            ctx.charge(site.costs.clear_notice_apply_cost)
+            for owner, items in embedded.items():
+                copier_mod.apply_clear_notice(
+                    site.faillocks, {"site": owner, "items": items}
+                )
+
+        ack_payload: dict = {}
+        read_items = msg.payload.get("read_items")
+        if read_items is not None:
+            # Quorum strategy: report our versions so the coordinator can
+            # pick the newest copy for each read.
+            ack_payload["read_versions"] = [
+                site.db.get(item).snapshot() for item in read_items
+            ]
+        ctx.send(
+            msg.src,
+            MessageType.VOTE_ACK,
+            ack_payload,
+            txn_id=txn_id,
+            session=site.nsv.my_session,
+        )
+
+    def on_commit(self, ctx: HandlerContext, msg: Message) -> None:
+        """Phase two: apply the buffered updates and acknowledge."""
+        site = self.site
+        txn_id = msg.txn_id
+        entry = self._in_flight.pop(txn_id, None)
+        if entry is None or not site.db.has_staged(txn_id):
+            # Commit for a transaction we never staged (should not happen
+            # under the serial driver); acknowledge to unblock the
+            # coordinator and move on.
+            ctx.send(msg.src, MessageType.COMMIT_ACK, {}, txn_id=txn_id)
+            return
+        started, updates, recipients = entry
+        site.db.abort_staged(txn_id)  # re-apply through the shared path
+        version = msg.payload.get("version", -1)
+        updates = [(item, value, version) for item, value, _v in updates]
+        site.commit_writes(ctx, txn_id, updates, recipients=recipients)
+        if site.lock_service is not None:
+            site.lock_service.release(ctx, txn_id)
+        ctx.send(
+            msg.src,
+            MessageType.COMMIT_ACK,
+            {},
+            txn_id=txn_id,
+            session=site.nsv.my_session,
+        )
+
+        def record_elapsed() -> None:
+            site.metrics.note_participant(
+                txn_id, site.site_id, site.network.scheduler.now - started
+            )
+
+        ctx.on_done(record_elapsed)
+
+    def on_abort(self, ctx: HandlerContext, msg: Message) -> None:
+        """Abort indication: discard the buffered copy updates (and, in
+        concurrent mode, cancel any parked lock acquisition)."""
+        self.site.db.abort_staged(msg.txn_id)
+        self._in_flight.pop(msg.txn_id, None)
+        if self.site.lock_service is not None:
+            self.site.lock_service.cancel(ctx, msg.txn_id)
+
+    @property
+    def staged_txns(self) -> list[int]:
+        """Transactions currently buffered at this participant, sorted."""
+        return sorted(self._in_flight)

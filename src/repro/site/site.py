@@ -1,0 +1,592 @@
+"""A mini-RAID database site.
+
+Each site keeps "a copy of the database, nominal session vector, and
+fail-locks and execute[s] the same protocol to maintain the consistency of
+these objects" (paper §1.2).  The site is a network endpoint: one message
+handler dispatching to the coordinator role, the participant role, the
+control-transaction machinery, and the copier-responder logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import copier as copier_mod
+from repro.core.control import (
+    FailureAnnouncement,
+    RecoveryAnnouncement,
+    RecoveryState,
+)
+from repro.core.faillocks import FailLockTable
+from repro.core.recovery import RecoveryManager
+from repro.core.rowaa import RowaaPlanner
+from repro.core.sessions import NominalSessionVector, SiteState
+from repro.errors import ProtocolError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.records import ControlRecord, CopierRecord
+from repro.net.endpoint import Endpoint, HandlerContext
+from repro.net.message import Message, MessageType
+from repro.net.network import Network
+from repro.sim.logical import LogicalClock
+from repro.site.coordinator import CoordinatorRole
+from repro.site.participant import ParticipantRole
+from repro.storage.catalog import ReplicationCatalog
+from repro.storage.database import SiteDatabase
+from repro.system.config import SystemConfig
+from repro.txn.operations import Operation
+from repro.txn.transaction import Transaction
+
+# Sentinel transaction id for batch copier exchanges (two-step recovery),
+# which are not tied to any database transaction.
+BATCH_COPIER_TXN = -2
+
+
+class DatabaseSite(Endpoint):
+    """One replicated database site."""
+
+    def __init__(
+        self,
+        site_id: int,
+        config: SystemConfig,
+        catalog: ReplicationCatalog,
+        metrics: MetricsCollector,
+        version_clock: Optional["LogicalClock"] = None,
+    ) -> None:
+        super().__init__(site_id)
+        self.config = config
+        self.costs = config.costs
+        self.catalog = catalog
+        self.metrics = metrics
+        self.version_clock = version_clock if version_clock is not None else LogicalClock()
+        self.db = SiteDatabase(site_id, catalog.items_on(site_id))
+        self.nsv = NominalSessionVector(site_id, config.site_ids)
+        self.faillocks = FailLockTable(config.site_ids, catalog.item_ids)
+        self.recovery = RecoveryManager(
+            owner=site_id,
+            faillocks=self.faillocks,
+            policy=config.recovery_policy,
+            batch_threshold=config.batch_threshold,
+            batch_size=config.batch_size,
+        )
+        self.planner = RowaaPlanner(site_id, self.nsv, self.faillocks, self.catalog)
+        self.coordinator = CoordinatorRole(self)
+        self.participant = ParticipantRole(self)
+        if config.concurrency_control:
+            from repro.site.locking import SiteLockService
+
+            self.lock_service: Optional[SiteLockService] = SiteLockService(self)
+        else:
+            self.lock_service = None
+        self.network: Network = None  # type: ignore[assignment] # set by attach()
+        self._recovery_candidates: list[int] = []
+        self._recovery_started_at = -1.0
+        self._batch_pending: dict[int, list[int]] = {}
+        self._type3_started: dict[tuple[int, int], float] = {}
+
+    def attach(self, network: Network) -> None:
+        """Wire the site to its network (done by the cluster builder)."""
+        self.network = network
+        network.register(self)
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def handle(self, ctx: HandlerContext, msg: Message) -> None:
+        mtype = msg.mtype
+        if mtype is MessageType.MGR_SUBMIT_TXN:
+            self.coordinator.begin(ctx, self._decode_txn(msg))
+        elif mtype is MessageType.VOTE_REQ:
+            self.participant.on_vote_req(ctx, msg)
+        elif mtype is MessageType.COMMIT:
+            self.participant.on_commit(ctx, msg)
+        elif mtype is MessageType.ABORT:
+            self.participant.on_abort(ctx, msg)
+        elif mtype is MessageType.VOTE_ACK:
+            self.coordinator.on_vote_ack(ctx, msg)
+        elif mtype is MessageType.VOTE_NACK:
+            self.coordinator.on_vote_nack(ctx, msg)
+        elif mtype is MessageType.COMMIT_ACK:
+            self.coordinator.on_commit_ack(ctx, msg)
+        elif mtype is MessageType.COPY_REQ:
+            self._serve_copy_request(ctx, msg)
+        elif mtype is MessageType.COPY_RESP:
+            if msg.txn_id == BATCH_COPIER_TXN:
+                self._on_batch_copy_resp(ctx, msg)
+            else:
+                self.coordinator.on_copy_resp(ctx, msg)
+        elif mtype is MessageType.COPY_DENIED:
+            if msg.txn_id == BATCH_COPIER_TXN:
+                self._batch_pending.pop(msg.src, None)
+            else:
+                self.coordinator.on_copy_denied(ctx, msg)
+        elif mtype is MessageType.CLEAR_FAILLOCKS:
+            self._on_clear_faillocks(ctx, msg)
+        elif mtype is MessageType.RECOVERY_ANNOUNCE:
+            self._on_recovery_announce(ctx, msg)
+        elif mtype is MessageType.RECOVERY_STATE:
+            self._on_recovery_state(ctx, msg)
+        elif mtype is MessageType.FAILURE_ANNOUNCE:
+            self._on_failure_announce(ctx, msg)
+        elif mtype is MessageType.CREATE_COPY:
+            self._on_create_copy(ctx, msg)
+        elif mtype is MessageType.CREATE_COPY_ACK:
+            self._on_create_copy_ack(ctx, msg)
+        elif mtype is MessageType.MGR_FAIL:
+            self._on_fail(ctx, msg)
+        elif mtype is MessageType.MGR_RECOVER:
+            self._on_recover(ctx, msg)
+        else:
+            raise ProtocolError(f"site {self.site_id}: unexpected message {msg}")
+
+    @staticmethod
+    def _decode_txn(msg: Message) -> Transaction:
+        ops = [Operation(kind=k, item_id=i) for k, i in msg.payload["ops"]]
+        return Transaction(txn_id=msg.txn_id, ops=ops)
+
+    # -- shared commit processing ----------------------------------------------------
+
+    def commit_writes(
+        self,
+        ctx: HandlerContext,
+        txn_id: int,
+        updates: list[tuple[int, int, int]],
+        recipients: Optional[dict[int, list[int]]] = None,
+    ) -> None:
+        """Apply committed copy updates and do fail-lock maintenance.
+
+        Used by the coordinator (local commit) and participants (phase two)
+        alike — the paper incorporates fail-lock processing into the commit
+        protocol at every site.
+
+        ``recipients`` maps each written item to the sites the coordinator
+        shipped the update to; fail-lock bits are cleared exactly for them
+        and set for everyone else.  (The paper's formulation — examine the
+        nominal session vector — is the ``recipients is None`` fallback; it
+        is equivalent only when the local vector is accurate, which stale
+        views under timeout detection are not.)
+        """
+        # Under partial replication a transaction may write items this
+        # site holds no copy of; only local copies are applied.
+        updates = [u for u in updates if u[0] in self.db]
+        ctx.charge(self.costs.commit_apply_cost * len(updates))
+        written_items = []
+        for item_id, value, version in updates:
+            self.db.apply_write(txn_id, item_id, value, version, ctx.now)
+            written_items.append(item_id)
+        if self.config.faillocks_enabled and written_items:
+            refreshed = sum(
+                1
+                for item in written_items
+                if self.faillocks.is_locked(item, self.site_id)
+            )
+            ctx.charge(
+                self.costs.faillock_maintenance_cost(
+                    len(written_items), len(self.nsv.site_ids)
+                )
+            )
+            if recipients is not None:
+                self.faillocks.update_with_recipients(
+                    {item: recipients.get(item, []) for item in written_items}
+                )
+            else:
+                self.faillocks.update_on_commit(written_items, self.nsv)
+            if refreshed and self.recovery.in_recovery:
+                self.recovery.note_refreshed_by_write(refreshed, ctx.now)
+        self._maybe_issue_batch_copiers(ctx)
+
+    # -- copier responder (the 25 ms side of §2.2.3) -----------------------------------
+
+    def _serve_copy_request(self, ctx: HandlerContext, msg: Message) -> None:
+        items = msg.payload["items"]
+        for item in items:
+            if not self.catalog.holds(self.site_id, item) or self.faillocks.is_locked(
+                item, self.site_id
+            ):
+                ctx.send(msg.src, MessageType.COPY_DENIED, {"item": item}, txn_id=msg.txn_id)
+                return
+        ctx.charge(self.costs.copy_response_cost(len(items)))
+        ctx.send(
+            msg.src,
+            MessageType.COPY_RESP,
+            copier_mod.build_copy_response(self.db, items),
+            txn_id=msg.txn_id,
+            session=self.nsv.my_session,
+        )
+
+    def _on_clear_faillocks(self, ctx: HandlerContext, msg: Message) -> None:
+        ctx.charge(self.costs.clear_notice_apply_cost)
+        copier_mod.apply_clear_notice(self.faillocks, msg.payload)
+
+    # -- batch copiers (two-step recovery, §3.2 proposal) -------------------------------
+
+    def _maybe_issue_batch_copiers(self, ctx: HandlerContext) -> None:
+        if not self.recovery.wants_batch_copier() or self._batch_pending:
+            return
+        items = self.recovery.next_batch()
+        by_source: dict[int, list[int]] = {}
+        for item in items:
+            source = self.planner.up_to_date_source(item)
+            if source >= 0:
+                by_source.setdefault(source, []).append(item)
+        if not by_source:
+            return
+        for source, batch_items in sorted(by_source.items()):
+            self._batch_pending[source] = batch_items
+            ctx.charge(self.costs.copy_request_cost)
+            ctx.send(
+                source,
+                MessageType.COPY_REQ,
+                copier_mod.build_copy_request(batch_items),
+                txn_id=BATCH_COPIER_TXN,
+                session=self.nsv.my_session,
+            )
+            self.recovery.note_copier_request(batch=True)
+            self.metrics.record_copier(
+                CopierRecord(
+                    txn_id=BATCH_COPIER_TXN,
+                    requester=self.site_id,
+                    source=source,
+                    items=len(batch_items),
+                    batch=True,
+                    started_at=ctx.now,
+                    finished_at=ctx.now,
+                )
+            )
+
+    def _on_batch_copy_resp(self, ctx: HandlerContext, msg: Message) -> None:
+        copies = msg.payload["copies"]
+        ctx.charge(self.costs.copy_install_cost * len(copies))
+        copier_mod.apply_copy_response(
+            self.db, self.faillocks, self.site_id, copies, ctx.now
+        )
+        self.recovery.note_refreshed_by_copier(len(copies), ctx.now)
+        self._batch_pending.pop(msg.src, None)
+        cleared = sorted(item for item, _v, _ver in copies)
+        payload = copier_mod.build_clear_notice(self.site_id, cleared)
+        for peer in self.nsv.operational_peers():
+            ctx.charge(self.costs.clear_notice_format_cost)
+            ctx.send(peer, MessageType.CLEAR_FAILLOCKS, payload, txn_id=BATCH_COPIER_TXN)
+        # Keep draining until recovery completes.
+        self._maybe_issue_batch_copiers(ctx)
+
+    # -- control transaction type 2 ------------------------------------------------------
+
+    def announce_failure(
+        self,
+        ctx: HandlerContext,
+        failed_sites: list[int],
+        stale_items: Optional[list[int]] = None,
+    ) -> None:
+        """Run a type-2 control transaction for ``failed_sites``.
+
+        ``stale_items`` carries corrective fail-lock information for the
+        commit-phase failure case (see
+        :class:`~repro.core.control.FailureAnnouncement`).
+        """
+        newly = [
+            s for s in failed_sites if self.nsv.state_of(s) is not SiteState.DOWN
+        ]
+        if not newly and not stale_items:
+            return
+        for site in newly:
+            self.nsv.mark_down(site)
+        stale_items = sorted(stale_items or [])
+        if self.config.faillocks_enabled:
+            for site in failed_sites:
+                for item in stale_items:
+                    self.faillocks.set_lock(item, site)
+        announcement = FailureAnnouncement(
+            announcer=self.site_id, failed_sites=failed_sites, stale_items=stale_items
+        )
+        for peer in self.nsv.operational_peers():
+            ctx.send(
+                peer,
+                MessageType.FAILURE_ANNOUNCE,
+                announcement.to_payload(),
+                session=self.nsv.my_session,
+            )
+
+    def _on_failure_announce(self, ctx: HandlerContext, msg: Message) -> None:
+        started = msg.send_time - self.costs.msg_send_cost
+        ctx.charge(self.costs.control2_update_cost)
+        announcement = FailureAnnouncement.from_payload(msg.payload)
+        announcement.apply(self.nsv)
+        if self.config.faillocks_enabled:
+            for failed in announcement.failed_sites:
+                for item in announcement.stale_items:
+                    self.faillocks.set_lock(item, failed)
+
+        def record() -> None:
+            self.metrics.record_control(
+                ControlRecord(
+                    kind=2,
+                    site_id=self.site_id,
+                    role="operational",
+                    started_at=max(started, 0.0),
+                    finished_at=self.network.scheduler.now,
+                )
+            )
+
+        ctx.on_done(record)
+
+    # -- failure and recovery of this site ---------------------------------------------
+
+    def _on_fail(self, ctx: HandlerContext, msg: Message) -> None:
+        """The managing site ordered a (simulated) crash: stop participating
+        in any further system actions.  Under the cold crash model, the
+        volatile database (and with it the fail-lock table's content) is
+        lost; only the session number survives (it is stable storage)."""
+        self.alive = False
+        self.nsv.mark_down(self.site_id)
+        if self.config.cold_recovery:
+            self.db.wipe()
+
+    def _on_recover(self, ctx: HandlerContext, msg: Message) -> None:
+        """The managing site initiated recovery: run the type-1 control
+        transaction (announce the new session, fetch vector + fail-locks)."""
+        self.alive = True
+        new_session = self.nsv.begin_new_session()
+        self._recovery_started_at = ctx.now
+        ctx.charge(self.costs.control1_begin_cost)
+        peers = [s for s in self.nsv.site_ids if s != self.site_id]
+        if not peers:
+            self._complete_recovery_solo(ctx)
+            return
+        # Candidates to answer with state, best-guess order: sites we last
+        # knew operational first, then the rest.
+        believed_up = [s for s in peers if self.nsv.is_operational(s)]
+        believed_down = [s for s in peers if s not in believed_up]
+        self._recovery_candidates = believed_up + believed_down
+        responder = self._recovery_candidates.pop(0)
+        announcement = RecoveryAnnouncement(
+            site_id=self.site_id, new_session=new_session
+        )
+        for peer in peers:
+            payload = announcement.to_payload()
+            payload["respond"] = responder
+            # A cold crash lost every copy: peers must fail-lock our whole
+            # database so recovery refreshes all of it.
+            payload["cold"] = self.config.cold_recovery
+            ctx.send(
+                peer,
+                MessageType.RECOVERY_ANNOUNCE,
+                payload,
+                session=new_session,
+            )
+
+    def _complete_recovery_solo(self, ctx: HandlerContext) -> None:
+        """No peers exist: become operational with our own state."""
+        self.nsv.mark_up(self.site_id)
+        self.recovery.begin(ctx.now)
+        self._record_recovery_done(ctx)
+
+    def _on_recovery_announce(self, ctx: HandlerContext, msg: Message) -> None:
+        announcement = RecoveryAnnouncement.from_payload(msg.payload)
+        ctx.charge(self.costs.control1_announce_cost)
+        # The announced site becomes operational in our vector: in the
+        # serial system no transaction can slip between its announcement
+        # and its install, so marking it UP here is equivalent to the
+        # paper's "preparing to become operational".
+        self.nsv.mark_up(announcement.site_id, announcement.new_session)
+        if msg.payload.get("cold"):
+            # Cold crash: every copy the site holds is now out of date.
+            items = self.catalog.items_on(announcement.site_id)
+            ctx.charge(self.costs.faillock_bit_cost * len(items))
+            for item in items:
+                self.faillocks.set_lock(item, announcement.site_id)
+        if msg.payload.get("respond") == self.site_id:
+            started = ctx.now
+            ctx.charge(self.costs.control1_format_cost(len(self.db)))
+            state = RecoveryState.capture(self.site_id, self.nsv, self.faillocks)
+            ctx.send(
+                msg.src,
+                MessageType.RECOVERY_STATE,
+                state.to_payload(),
+                session=self.nsv.my_session,
+            )
+
+            def record() -> None:
+                self.metrics.record_control(
+                    ControlRecord(
+                        kind=1,
+                        site_id=self.site_id,
+                        role="operational",
+                        started_at=started,
+                        finished_at=self.network.scheduler.now,
+                    )
+                )
+
+            ctx.on_done(record)
+
+    def _on_recovery_state(self, ctx: HandlerContext, msg: Message) -> None:
+        state = RecoveryState.from_payload(msg.payload)
+        ctx.charge(self.costs.control1_install_cost(state.size()))
+        state.install_at_recovering_site(self.nsv, self.faillocks)
+        self.recovery.begin(ctx.now)
+        self._record_recovery_done(ctx)
+        self._maybe_issue_batch_copiers(ctx)
+
+    def _record_recovery_done(self, ctx: HandlerContext) -> None:
+        started = self._recovery_started_at
+
+        def record() -> None:
+            self.metrics.record_control(
+                ControlRecord(
+                    kind=1,
+                    site_id=self.site_id,
+                    role="recovering",
+                    started_at=started,
+                    finished_at=self.network.scheduler.now,
+                )
+            )
+
+        ctx.on_done(record)
+        ctx.send(
+            self.config.manager_id,
+            MessageType.MGR_RECOVER_DONE,
+            {"site": self.site_id, "session": self.nsv.my_session},
+        )
+
+    # -- outcomes and bounced messages -----------------------------------------------
+
+    def send_outcome(
+        self, txn: Transaction, elapsed: float, copiers: int, clear_notices: int
+    ) -> None:
+        """Report a finished transaction to the managing site (spawned as a
+        fresh activation so the measured window stays closed)."""
+
+        def report(ctx: HandlerContext) -> None:
+            ctx.send(
+                self.config.manager_id,
+                MessageType.MGR_TXN_DONE,
+                {
+                    "committed": txn.status.value == "committed",
+                    "reason": txn.abort_reason.value,
+                    "coordinator_elapsed": elapsed,
+                    "copiers": copiers,
+                    "clear_notices": clear_notices,
+                    "size": txn.size,
+                    "items_read": len(txn.read_items),
+                    "items_written": len(txn.write_items),
+                    "submitted_at": txn.submitted_at,
+                },
+                txn_id=txn.txn_id,
+            )
+
+        self.network.spawn(self, report)
+
+    def on_delivery_failed(self, ctx: HandlerContext, msg: Message) -> None:
+        """One of our messages bounced off a down or unreachable site."""
+        if msg.mtype is MessageType.COPY_REQ and msg.txn_id == BATCH_COPIER_TXN:
+            # A batch-copier source died: clear the in-flight slot so the
+            # two-step recovery keeps draining via the remaining sources.
+            self._batch_pending.pop(msg.dst, None)
+            self.announce_failure(ctx, [msg.dst])
+            self._maybe_issue_batch_copiers(ctx)
+        elif msg.mtype in (
+            MessageType.COPY_REQ,
+            MessageType.VOTE_REQ,
+            MessageType.COMMIT,
+        ):
+            self.coordinator.on_delivery_failed(ctx, msg)
+        elif msg.mtype is MessageType.RECOVERY_ANNOUNCE:
+            if msg.payload.get("respond") == msg.dst:
+                self._retry_recovery_responder(ctx, msg)
+        elif msg.mtype is MessageType.RECOVERY_STATE:
+            # The recovering site died again mid-type-1; nothing to do.
+            pass
+        # FAILURE_ANNOUNCE / CLEAR_FAILLOCKS bounces need no action: the
+        # destination is down and will install fresh state on recovery.
+
+    def _retry_recovery_responder(self, ctx: HandlerContext, msg: Message) -> None:
+        """Our chosen type-1 responder is down: mark it, try the next.
+
+        Every remaining candidate is tried regardless of what our own
+        (stale — we just woke up) session vector says about it: a site we
+        last saw down may have recovered while we were away, and its table
+        is exactly the fresh knowledge we need.  Only an actual bounce
+        advances past a candidate.
+        """
+        self.announce_failure(ctx, [msg.dst])
+        if self._recovery_candidates:
+            responder = self._recovery_candidates.pop(0)
+            payload = dict(msg.payload)
+            payload["respond"] = responder
+            ctx.send(
+                responder,
+                MessageType.RECOVERY_ANNOUNCE,
+                payload,
+                session=self.nsv.my_session,
+            )
+            return
+        # Nobody left to ask: we are the only site up; recover solo.
+        self._complete_recovery_solo(ctx)
+
+    # -- control transaction type 3 (§3.2 proposal, partial replication) -----------------
+
+    def initiate_backup(self, ctx: HandlerContext, item_id: int, target: int) -> None:
+        """Type-3 control transaction: ship a backup copy of ``item_id`` to
+        ``target``, a site that holds no copy.  Used when this site holds
+        the last up-to-date copy (the §3.2 availability proposal)."""
+        if self.catalog.holds(target, item_id):
+            raise ProtocolError(
+                f"site {target} already holds a copy of item {item_id}"
+            )
+        copy = self.db.get(item_id)
+        self._type3_started[(item_id, target)] = ctx.now
+        ctx.charge(self.costs.create_copy_cost)
+        ctx.send(
+            target,
+            MessageType.CREATE_COPY,
+            {"item": item_id, "value": copy.value, "version": copy.version},
+            session=self.nsv.my_session,
+        )
+
+    def _on_create_copy(self, ctx: HandlerContext, msg: Message) -> None:
+        item = msg.payload["item"]
+        ctx.charge(self.costs.create_copy_cost)
+        self.db.create_item(item, msg.payload["value"], msg.payload["version"], ctx.now)
+        self.catalog.add_copy(item, self.site_id)
+        if item not in self.faillocks.item_ids:
+            self.faillocks.add_item(item)
+        ctx.send(msg.src, MessageType.CREATE_COPY_ACK, {"item": item})
+
+    def _on_create_copy_ack(self, ctx: HandlerContext, msg: Message) -> None:
+        item = msg.payload["item"]
+        started = self._type3_started.pop((item, msg.src), None)
+        if started is None:
+            return
+
+        def record() -> None:
+            self.metrics.record_control(
+                ControlRecord(
+                    kind=3,
+                    site_id=self.site_id,
+                    role="announcer",
+                    started_at=started,
+                    finished_at=self.network.scheduler.now,
+                )
+            )
+
+        ctx.on_done(record)
+
+    def drop_backup_copy(self, item_id: int) -> None:
+        """Remove a type-3 backup copy once it is no longer needed (the
+        cleanup cost §3.2 mentions)."""
+        self.db.drop_item(item_id)
+        self.catalog.remove_copy(item_id, self.site_id)
+
+    # -- orderly shutdown (the TERMINATING state) ----------------------------------------
+
+    def terminate(self) -> None:
+        """Mark this site terminating, then down (orderly shutdown)."""
+        self.nsv.mark_terminating(self.site_id)
+        self.alive = False
+        self.nsv.mark_down(self.site_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseSite(id={self.site_id}, "
+            f"{'up' if self.alive else 'down'}, "
+            f"session={self.nsv.my_session}, "
+            f"stale={self.faillocks.count_for(self.site_id)})"
+        )

@@ -1,0 +1,16 @@
+"""Per-site database substrate.
+
+Mini-RAID kept each site's copy of the database in the virtual memory of
+the site's process (paper assumption 3 factors out I/O).  We do the same:
+an in-memory versioned store per site, a redo log for commit processing,
+and a replication catalog saying which sites hold which items (trivially
+"everyone" under the paper's full-replication assumption 4, but general
+enough for the proposed type-3 control transaction's partial replication).
+"""
+
+from repro.storage.item import DataItem
+from repro.storage.database import SiteDatabase
+from repro.storage.log import LogRecord, RedoLog
+from repro.storage.catalog import ReplicationCatalog
+
+__all__ = ["DataItem", "SiteDatabase", "LogRecord", "RedoLog", "ReplicationCatalog"]

@@ -1,0 +1,80 @@
+"""Replication catalog: which sites hold which items.
+
+The paper assumes full replication (assumption 4) but sketches, in §3.2, a
+type-3 control transaction for *partially* replicated databases where a
+back-up copy is created on a site that had none.  The catalog is the shared
+directory both cases consult.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import StorageError
+
+
+class ReplicationCatalog:
+    """Directory mapping item ids to the sites holding a copy."""
+
+    def __init__(self, item_ids: Iterable[int], site_ids: Iterable[int]) -> None:
+        self.site_ids = sorted(site_ids)
+        self._holders: dict[int, set[int]] = {item: set() for item in item_ids}
+
+    @classmethod
+    def fully_replicated(
+        cls, item_ids: Iterable[int], site_ids: Iterable[int]
+    ) -> "ReplicationCatalog":
+        """Every site holds every item (the paper's configuration)."""
+        catalog = cls(item_ids, site_ids)
+        for item in catalog._holders:
+            catalog._holders[item] = set(catalog.site_ids)
+        return catalog
+
+    @property
+    def item_ids(self) -> list[int]:
+        """All logical item ids, sorted."""
+        return sorted(self._holders)
+
+    def holders(self, item_id: int) -> set[int]:
+        """Sites that hold a copy of ``item_id`` (a fresh set)."""
+        try:
+            return set(self._holders[item_id])
+        except KeyError:
+            raise StorageError(f"unknown item {item_id}") from None
+
+    def holds(self, site_id: int, item_id: int) -> bool:
+        """Whether ``site_id`` holds a copy of ``item_id``."""
+        try:
+            return site_id in self._holders[item_id]
+        except KeyError:
+            raise StorageError(f"unknown item {item_id}") from None
+
+    def items_on(self, site_id: int) -> list[int]:
+        """All items a site holds, sorted."""
+        return sorted(i for i, sites in self._holders.items() if site_id in sites)
+
+    def add_copy(self, item_id: int, site_id: int) -> None:
+        """Record a new copy (type-3 control transaction)."""
+        if site_id not in self.site_ids:
+            raise StorageError(f"unknown site {site_id}")
+        self._holders[item_id].add(site_id)
+
+    def remove_copy(self, item_id: int, site_id: int) -> None:
+        """Record removal of a copy."""
+        holders = self._holders[item_id]
+        if site_id not in holders:
+            raise StorageError(f"site {site_id} holds no copy of item {item_id}")
+        if len(holders) == 1:
+            raise StorageError(f"refusing to remove the last copy of item {item_id}")
+        holders.remove(site_id)
+
+    def is_fully_replicated(self) -> bool:
+        """True if every site holds every item."""
+        full = set(self.site_ids)
+        return all(holders == full for holders in self._holders.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationCatalog(items={len(self._holders)}, "
+            f"sites={len(self.site_ids)}, full={self.is_fully_replicated()})"
+        )

@@ -1,0 +1,32 @@
+"""A single replicated data item copy.
+
+``version`` is the identifier of the transaction that last wrote the copy.
+Under the paper's serial execution, transaction ids are issued in
+processing order, so version comparison tells which of two copies is newer
+— the property copier transactions and the consistency checker rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class DataItem:
+    """One site's copy of a logical data item."""
+
+    item_id: int
+    value: int = 0
+    version: int = 0
+    committed_at: float = 0.0
+
+    def newer_than(self, other: "DataItem") -> bool:
+        """True if this copy reflects a later write than ``other``."""
+        return self.version > other.version
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """(item_id, value, version) — what a copier transaction ships."""
+        return (self.item_id, self.value, self.version)
+
+    def __repr__(self) -> str:
+        return f"DataItem(id={self.item_id}, value={self.value}, v={self.version})"

@@ -1,0 +1,51 @@
+"""System assembly: configuration, cost model, managing site, cluster."""
+
+from repro.system.config import (
+    SystemConfig,
+    FailureDetection,
+    ClearNoticeMode,
+    CopyControlStrategy,
+)
+from repro.system.costs import CostModel
+from repro.system.cluster import Cluster
+from repro.system.managing import ManagingSite
+from repro.system.scenario import (
+    Scenario,
+    FailSite,
+    RecoverSite,
+    PartitionNetwork,
+    HealNetwork,
+    SubmissionPolicy,
+    FixedSite,
+    RoundRobin,
+    UniformRandom,
+    Weighted,
+)
+from repro.system.deadlock import GlobalDeadlockDetector
+from repro.system.openloop import OpenLoopManager, OpenLoopResult, run_open_loop
+from repro.system.interactive import InteractiveDriver
+
+__all__ = [
+    "SystemConfig",
+    "FailureDetection",
+    "ClearNoticeMode",
+    "CopyControlStrategy",
+    "CostModel",
+    "Cluster",
+    "ManagingSite",
+    "Scenario",
+    "FailSite",
+    "RecoverSite",
+    "PartitionNetwork",
+    "HealNetwork",
+    "SubmissionPolicy",
+    "FixedSite",
+    "RoundRobin",
+    "UniformRandom",
+    "Weighted",
+    "GlobalDeadlockDetector",
+    "OpenLoopManager",
+    "OpenLoopResult",
+    "run_open_loop",
+    "InteractiveDriver",
+]

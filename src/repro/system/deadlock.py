@@ -1,0 +1,103 @@
+"""Global deadlock detection service for the concurrent mode.
+
+Every blocked lock request anywhere in the cluster reports its waits-for
+edges here; the detector looks for a cycle eagerly on each report and
+aborts the youngest transaction in it (the conventional cheap victim).
+This models the centralized-detector option of 1980s distributed DBMSs —
+the complete RAID design the paper defers to.
+
+A transaction can be blocked at several sites at once (its phase-one copy
+updates queue independently per participant), so waits are keyed by
+``(waiter, site)`` and the global graph is the union over sites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.endpoint import HandlerContext
+from repro.txn.deadlock import WaitsForGraph
+
+
+class GlobalDeadlockDetector:
+    """Cluster-wide waits-for bookkeeping plus victim-abort dispatch."""
+
+    def __init__(self) -> None:
+        # waiter -> site -> blockers at that site.
+        self._waits: dict[int, dict[int, tuple[int, ...]]] = {}
+        # txn -> callable(ctx) that aborts the transaction at its
+        # coordinator; registered when the coordinator starts the txn.
+        self._abort_fns: dict[int, Callable[[HandlerContext], None]] = {}
+        self.deadlocks_found = 0
+        self.victims: list[int] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, txn_id: int, abort_fn: Callable[[HandlerContext], None]) -> None:
+        """The coordinator of ``txn_id`` registers its abort hook."""
+        self._abort_fns[txn_id] = abort_fn
+
+    def forget(self, txn_id: int) -> None:
+        """A transaction finished (commit or abort): drop all its state."""
+        self._waits.pop(txn_id, None)
+        self._abort_fns.pop(txn_id, None)
+
+    # -- wait bookkeeping ----------------------------------------------------------
+
+    def block(
+        self,
+        ctx: HandlerContext,
+        site_id: int,
+        waiter: int,
+        blockers: tuple[int, ...],
+    ) -> None:
+        """Record that ``waiter`` is blocked at ``site_id``; detect."""
+        real = tuple(b for b in blockers if b != waiter)
+        if not real:
+            return
+        self._waits.setdefault(waiter, {})[site_id] = real
+        self._detect(ctx)
+
+    def unblock(self, site_id: int, waiter: int) -> None:
+        """``waiter`` stopped waiting at ``site_id`` (other sites may still
+        hold it blocked)."""
+        sites = self._waits.get(waiter)
+        if sites is not None:
+            sites.pop(site_id, None)
+            if not sites:
+                del self._waits[waiter]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """The current global waits-for edges, sorted."""
+        out = set()
+        for waiter, sites in self._waits.items():
+            for blockers in sites.values():
+                for blocker in blockers:
+                    out.add((waiter, blocker))
+        return sorted(out)
+
+    # -- detection -----------------------------------------------------------------
+
+    def _detect(self, ctx: HandlerContext) -> None:
+        graph = WaitsForGraph()
+        for waiter, sites in self._waits.items():
+            for blockers in sites.values():
+                live = tuple(b for b in blockers if b != waiter)
+                if live:
+                    graph.add_waits(waiter, live)
+        cycle = graph.find_cycle()
+        if not cycle:
+            return
+        self.deadlocks_found += 1
+        victim = graph.choose_victim(cycle)
+        self.victims.append(victim)
+        abort_fn = self._abort_fns.get(victim)
+        self.forget(victim)
+        if abort_fn is not None:
+            abort_fn(ctx)
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalDeadlockDetector(found={self.deadlocks_found}, "
+            f"victims={self.victims}, waiting={sorted(self._waits)})"
+        )

@@ -1,0 +1,102 @@
+"""Waits-for graph deadlock detection (the "complete RAID" extension).
+
+Used with :class:`~repro.txn.locks.LockManager` in the concurrent cluster
+mode: every blocked lock request adds waits-for edges; a cycle means
+deadlock, and the youngest transaction in the cycle is chosen as victim.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LockError
+
+
+class WaitsForGraph:
+    """Directed graph: edge ``a -> b`` means txn ``a`` waits for txn ``b``."""
+
+    def __init__(self) -> None:
+        self._edges: dict[int, set[int]] = {}
+
+    def add_waits(self, waiter: int, blockers: tuple[int, ...] | list[int]) -> None:
+        """Record that ``waiter`` is blocked by each of ``blockers``."""
+        if waiter in blockers:
+            raise LockError(f"txn {waiter} cannot wait for itself")
+        self._edges.setdefault(waiter, set()).update(blockers)
+
+    def remove_txn(self, txn_id: int) -> None:
+        """Erase a finished transaction from both sides of the graph."""
+        self._edges.pop(txn_id, None)
+        for targets in self._edges.values():
+            targets.discard(txn_id)
+
+    def clear_waits(self, txn_id: int) -> None:
+        """Drop ``txn_id``'s outgoing edges (it stopped waiting); edges
+        *onto* it remain — others may still wait for it."""
+        self._edges.pop(txn_id, None)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges, sorted (for tests and debugging)."""
+        return sorted(
+            (a, b) for a, targets in self._edges.items() for b in targets
+        )
+
+    def find_cycle(self) -> list[int]:
+        """A deadlock cycle as a list of txn ids, or [] if none.
+
+        Iterative DFS with colouring; deterministic (nodes and edges are
+        visited in sorted order) so victim selection is reproducible.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self._edges}
+        for targets in self._edges.values():
+            for node in targets:
+                colour.setdefault(node, WHITE)
+
+        parent: dict[int, int] = {}
+        for start in sorted(colour):
+            if colour[start] != WHITE:
+                continue
+            stack: list[tuple[int, list[int]]] = [
+                (start, sorted(self._edges.get(start, ())))
+            ]
+            colour[start] = GREY
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                while successors:
+                    nxt = successors.pop(0)
+                    if colour.get(nxt, WHITE) == GREY:
+                        # Found a back edge: unwind the cycle.
+                        cycle = [nxt]
+                        current = node
+                        while current != nxt:
+                            cycle.append(current)
+                            current = parent[current]
+                        cycle.reverse()
+                        return cycle
+                    if colour.get(nxt, WHITE) == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, sorted(self._edges.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced and stack and stack[-1][0] == node and not successors:
+                    colour[node] = BLACK
+                    stack.pop()
+        return []
+
+    @staticmethod
+    def choose_victim(cycle: list[int]) -> int:
+        """Pick the youngest (highest-id) transaction in the cycle.
+
+        Transaction ids are issued in start order, so the highest id has
+        done the least work — the conventional cheap victim.
+        """
+        if not cycle:
+            raise LockError("cannot choose a victim from an empty cycle")
+        return max(cycle)
+
+    def __len__(self) -> int:
+        return sum(len(targets) for targets in self._edges.values())
+
+    def __repr__(self) -> str:
+        return f"WaitsForGraph(edges={self.edges()})"

@@ -1,0 +1,156 @@
+"""Strict two-phase locking (the "complete RAID" extension).
+
+Mini-RAID deliberately factored concurrency control out (paper assumption
+2); the authors planned to re-introduce it when running the protocol in the
+complete RAID system.  This lock manager supplies that substrate: shared /
+exclusive item locks, FIFO queueing with the standard compatibility matrix,
+and release-all-at-commit (strictness).  The concurrent cluster mode and
+the deadlock detector build on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LockError
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        """Standard S/X compatibility: only S+S coexist."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class _LockEntry:
+    """The grant set and wait queue for one item."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+@dataclass(slots=True, frozen=True)
+class LockGrant:
+    """Result of a lock request."""
+
+    granted: bool
+    # Transactions the requester now waits for (empty when granted).
+    waiting_for: tuple[int, ...] = ()
+
+
+class LockManager:
+    """Item-granularity S/X lock table for one site."""
+
+    def __init__(self) -> None:
+        self._table: dict[int, _LockEntry] = {}
+        self.grants = 0
+        self.waits = 0
+
+    def _entry(self, item_id: int) -> _LockEntry:
+        if item_id not in self._table:
+            self._table[item_id] = _LockEntry()
+        return self._table[item_id]
+
+    def holders_of(self, item_id: int) -> dict[int, LockMode]:
+        """Current holders of ``item_id`` (copy)."""
+        return dict(self._table.get(item_id, _LockEntry()).holders)
+
+    def waiters_of(self, item_id: int) -> list[int]:
+        """Queued transactions on ``item_id``, FIFO order."""
+        return [txn for txn, _mode in self._table.get(item_id, _LockEntry()).queue]
+
+    def request(self, txn_id: int, item_id: int, mode: LockMode) -> LockGrant:
+        """Request ``mode`` on ``item_id`` for ``txn_id``.
+
+        Re-requests are idempotent; S→X upgrade succeeds only when the
+        requester is the sole holder, otherwise it queues.  A queued request
+        returns the holder set it waits for (feeding the waits-for graph).
+        """
+        entry = self._entry(item_id)
+        held = entry.holders.get(txn_id)
+        if held is mode or held is LockMode.EXCLUSIVE:
+            return LockGrant(granted=True)
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            if len(entry.holders) == 1:
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                self.grants += 1
+                return LockGrant(granted=True)
+            blockers = tuple(t for t in entry.holders if t != txn_id)
+            entry.queue.append((txn_id, mode))
+            self.waits += 1
+            return LockGrant(granted=False, waiting_for=blockers)
+        # Fresh request: grant if compatible with every holder and nobody
+        # is already queued (queue-jumping would starve writers).
+        compatible = all(mode.compatible_with(m) for m in entry.holders.values())
+        if compatible and not entry.queue:
+            entry.holders[txn_id] = mode
+            self.grants += 1
+            return LockGrant(granted=True)
+        blockers = tuple(entry.holders) + tuple(t for t, _m in entry.queue)
+        entry.queue.append((txn_id, mode))
+        self.waits += 1
+        return LockGrant(granted=False, waiting_for=blockers)
+
+    def release_all(self, txn_id: int) -> dict[int, list[int]]:
+        """Release every lock ``txn_id`` holds or waits for (strict 2PL).
+
+        Returns ``{item_id: [txn_ids granted by this release]}`` so the
+        caller can resume the newly unblocked transactions.
+        """
+        granted: dict[int, list[int]] = {}
+        for item_id, entry in self._table.items():
+            entry.holders.pop(txn_id, None)
+            entry.queue[:] = [(t, m) for t, m in entry.queue if t != txn_id]
+            newly = self._promote(entry)
+            if newly:
+                granted[item_id] = newly
+        return granted
+
+    def _promote(self, entry: _LockEntry) -> list[int]:
+        """Grant queued requests now compatible, in FIFO order."""
+        newly: list[int] = []
+        while entry.queue:
+            txn_id, mode = entry.queue[0]
+            held = entry.holders.get(txn_id)
+            if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+                # Upgrade waits for sole ownership.
+                if len(entry.holders) != 1:
+                    break
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+            else:
+                if not all(mode.compatible_with(m) for m in entry.holders.values()):
+                    break
+                entry.holders[txn_id] = mode
+            entry.queue.pop(0)
+            self.grants += 1
+            newly.append(txn_id)
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return newly
+
+    def held_by(self, txn_id: int) -> list[int]:
+        """Items on which ``txn_id`` currently holds a lock, sorted."""
+        return sorted(
+            item for item, entry in self._table.items() if txn_id in entry.holders
+        )
+
+    def verify_integrity(self) -> None:
+        """Assert the compatibility invariant on every item (test hook)."""
+        for item_id, entry in self._table.items():
+            modes = list(entry.holders.values())
+            if len(modes) > 1 and any(m is LockMode.EXCLUSIVE for m in modes):
+                raise LockError(f"item {item_id}: X lock coexists with others")
+
+    def __repr__(self) -> str:
+        held = sum(len(e.holders) for e in self._table.values())
+        queued = sum(len(e.queue) for e in self._table.values())
+        return f"LockManager(held={held}, queued={queued})"

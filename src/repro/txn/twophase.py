@@ -1,0 +1,102 @@
+"""Two-phase commit bookkeeping (paper Appendix A).
+
+The site that receives a transaction from the managing site coordinates;
+the remaining operational sites participate.  Phase one ships the copy
+updates for written items; phase two ships the commit indication.  The
+coordinator commits locally and updates fail-locks after collecting the
+commit acks.
+
+This module holds the coordinator's per-transaction state record; the
+actual message exchange lives in :mod:`repro.site.coordinator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.txn.transaction import Transaction
+
+
+class CommitPhase(enum.Enum):
+    """Where a coordinated transaction currently stands."""
+
+    EXECUTING = "executing"        # local reads/writes, copiers if needed
+    COPIER_WAIT = "copier_wait"    # waiting for COPY_RESP
+    VOTING = "voting"              # phase 1: waiting for VOTE_ACKs
+    COMMITTING = "committing"      # phase 2: waiting for COMMIT_ACKs
+    DONE = "done"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class CoordinatorState:
+    """Everything the coordinator tracks for one in-flight transaction."""
+
+    txn: Transaction
+    phase: CommitPhase = CommitPhase.EXECUTING
+    participants: list[int] = field(default_factory=list)
+    pending_votes: set[int] = field(default_factory=set)
+    pending_commit_acks: set[int] = field(default_factory=set)
+    updates: list[tuple[int, int, int]] = field(default_factory=list)
+    # Per written item, the sites that receive the update (the coordinator's
+    # write-all-available set); drives exact fail-lock maintenance.
+    recipients: dict[int, list[int]] = field(default_factory=dict)
+    commit_version: int = -1
+    copier_items: list[int] = field(default_factory=list)
+    copier_source: int = -1
+    copiers_requested: int = 0
+    started_at: float = 0.0
+
+    def begin_voting(self, participants: list[int], time_unused: float = 0.0) -> None:
+        """Enter phase one, expecting votes from ``participants``."""
+        if self.phase not in (CommitPhase.EXECUTING, CommitPhase.COPIER_WAIT):
+            raise ProtocolError(
+                f"txn {self.txn.txn_id}: cannot start voting from {self.phase}"
+            )
+        self.participants = list(participants)
+        self.pending_votes = set(participants)
+        self.phase = CommitPhase.VOTING
+
+    def record_vote(self, site_id: int) -> bool:
+        """Record a VOTE_ACK.  Returns True when all votes are in."""
+        if self.phase is not CommitPhase.VOTING:
+            raise ProtocolError(
+                f"txn {self.txn.txn_id}: vote from {site_id} in phase {self.phase}"
+            )
+        self.pending_votes.discard(site_id)
+        return not self.pending_votes
+
+    def begin_commit(self) -> None:
+        """Enter phase two, expecting commit acks from all participants."""
+        if self.phase is not CommitPhase.VOTING or self.pending_votes:
+            raise ProtocolError(
+                f"txn {self.txn.txn_id}: cannot commit yet "
+                f"(phase={self.phase}, pending={self.pending_votes})"
+            )
+        self.pending_commit_acks = set(self.participants)
+        self.phase = CommitPhase.COMMITTING
+
+    def record_commit_ack(self, site_id: int) -> bool:
+        """Record a COMMIT_ACK.  Returns True when all acks are in."""
+        if self.phase is not CommitPhase.COMMITTING:
+            raise ProtocolError(
+                f"txn {self.txn.txn_id}: commit ack from {site_id} "
+                f"in phase {self.phase}"
+            )
+        self.pending_commit_acks.discard(site_id)
+        return not self.pending_commit_acks
+
+    def drop_participant(self, site_id: int) -> None:
+        """Remove a participant discovered down (timeout detection mode)."""
+        if site_id in self.participants:
+            self.participants.remove(site_id)
+        self.pending_votes.discard(site_id)
+        self.pending_commit_acks.discard(site_id)
+
+    def finish(self) -> None:
+        """Mark the protocol complete for this transaction."""
+        self.phase = CommitPhase.DONE

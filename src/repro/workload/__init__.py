@@ -1,0 +1,29 @@
+"""Workload generators.
+
+The paper's managing site generated transactions with "a random number of
+operations (from 1 to the maximum specified for the system)", each
+operation equally likely a read or a write, each on a uniformly random item
+from the frequently-referenced portion of the database (§1.2).  That is
+:class:`UniformWorkload`.
+
+The paper's §5 discussion and future work motivate the rest: a tunable
+read/write ratio ("studies have shown that typically reads are far more
+common than writes"), a skewed hot set, and the ET1 (DebitCredit) and
+Wisconsin benchmarks the authors planned to repeat the experiments with.
+"""
+
+from repro.workload.base import WorkloadGenerator
+from repro.workload.uniform import UniformWorkload
+from repro.workload.readwrite import ReadWriteWorkload
+from repro.workload.hotset import ZipfHotSetWorkload
+from repro.workload.et1 import Et1Workload
+from repro.workload.wisconsin import WisconsinWorkload
+
+__all__ = [
+    "WorkloadGenerator",
+    "UniformWorkload",
+    "ReadWriteWorkload",
+    "ZipfHotSetWorkload",
+    "Et1Workload",
+    "WisconsinWorkload",
+]

@@ -1,0 +1,20 @@
+"""Workload generator interface."""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.txn.operations import Operation
+
+
+class WorkloadGenerator(abc.ABC):
+    """Produces the operation list for each successive transaction."""
+
+    @abc.abstractmethod
+    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+        """Operations for the ``txn_seq``-th transaction (1-based)."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for experiment reports."""
+        return type(self).__name__

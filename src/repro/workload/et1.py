@@ -1,0 +1,63 @@
+"""ET1 (DebitCredit) workload — Anon et al., "A measure of transaction
+processing power" (the paper's [Anon85] future-work benchmark).
+
+The classic DebitCredit transaction updates an account, its teller, and its
+branch, and appends a history record.  We map the four record types onto
+disjoint regions of the item space, preserving the benchmark's access
+shape: three read-modify-write pairs plus one blind write.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.txn.operations import OpKind, Operation
+from repro.workload.base import WorkloadGenerator
+
+
+class Et1Workload(WorkloadGenerator):
+    """DebitCredit-shaped transactions over a partitioned item space.
+
+    The item space splits as: accounts (70 %), tellers (10 %), branches
+    (5 %), history slots (15 %) — small-scale proportions of the ET1
+    schema.  Each transaction touches one of each.
+    """
+
+    def __init__(self, item_ids: list[int]) -> None:
+        if len(item_ids) < 8:
+            raise WorkloadError(
+                f"ET1 needs at least 8 items for its four regions, got {len(item_ids)}"
+            )
+        items = list(item_ids)
+        n = len(items)
+        a_end = max(1, int(n * 0.70))
+        t_end = a_end + max(1, int(n * 0.10))
+        b_end = t_end + max(1, int(n * 0.05))
+        self.accounts = items[:a_end]
+        self.tellers = items[a_end:t_end]
+        self.branches = items[t_end:b_end]
+        self.history = items[b_end:]
+        if not self.history:
+            raise WorkloadError("ET1 item space too small to carve a history region")
+
+    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+        account = rng.choice(self.accounts)
+        teller = rng.choice(self.tellers)
+        branch = rng.choice(self.branches)
+        history = rng.choice(self.history)
+        return [
+            Operation(OpKind.READ, account),
+            Operation(OpKind.WRITE, account),
+            Operation(OpKind.READ, teller),
+            Operation(OpKind.WRITE, teller),
+            Operation(OpKind.READ, branch),
+            Operation(OpKind.WRITE, branch),
+            Operation(OpKind.WRITE, history),
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"et1(accounts={len(self.accounts)}, tellers={len(self.tellers)}, "
+            f"branches={len(self.branches)}, history={len(self.history)})"
+        )

@@ -1,0 +1,37 @@
+"""The paper's workload: uniform items, equal read/write probability."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.txn.operations import Operation, random_transaction_ops
+from repro.workload.base import WorkloadGenerator
+
+
+class UniformWorkload(WorkloadGenerator):
+    """Random transactions exactly as the managing site generated them.
+
+    Length uniform in ``[1, max_txn_size]``; each operation a read or write
+    with equal probability on a uniformly random frequently-referenced item
+    (paper §1.2).
+    """
+
+    def __init__(self, item_ids: list[int], max_txn_size: int) -> None:
+        if not item_ids:
+            raise WorkloadError("item set is empty")
+        if max_txn_size < 1:
+            raise WorkloadError(f"max_txn_size must be >= 1: {max_txn_size}")
+        self.item_ids = list(item_ids)
+        self.max_txn_size = max_txn_size
+
+    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+        return random_transaction_ops(
+            rng, self.item_ids, self.max_txn_size, write_probability=0.5
+        )
+
+    def describe(self) -> str:
+        return (
+            f"uniform(items={len(self.item_ids)}, max_size={self.max_txn_size}, "
+            f"write_p=0.5)"
+        )

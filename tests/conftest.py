@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cpu import CpuResource
+from repro.sim.rng import DeterministicRng
+from repro.sim.scheduler import EventScheduler
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.costs import CostModel
+from repro.system.scenario import Scenario
+from repro.workload.uniform import UniformWorkload
+
+
+@pytest.fixture
+def scheduler() -> EventScheduler:
+    return EventScheduler()
+
+
+@pytest.fixture
+def cpu(scheduler: EventScheduler) -> CpuResource:
+    return CpuResource(scheduler, cores=1)
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(12345)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A tiny, fast configuration: 10 items, 3 sites."""
+    return SystemConfig(db_size=10, num_sites=3, max_txn_size=4, seed=99)
+
+
+@pytest.fixture
+def paper2_config() -> SystemConfig:
+    """The paper's Experiment 2 configuration."""
+    return SystemConfig.paper_experiment2(seed=42)
+
+
+@pytest.fixture
+def free_config() -> SystemConfig:
+    """Zero-cost configuration: protocol logic only, no timing."""
+    return SystemConfig(
+        db_size=10, num_sites=3, max_txn_size=4, seed=99, costs=CostModel.free()
+    )
+
+
+def make_scenario(config: SystemConfig, txn_count: int, **kwargs) -> Scenario:
+    """A uniform-workload scenario over ``config``'s item space."""
+    return Scenario(
+        workload=UniformWorkload(config.item_ids, config.max_txn_size),
+        txn_count=txn_count,
+        **kwargs,
+    )
+
+
+def run_cluster(config: SystemConfig, scenario: Scenario) -> Cluster:
+    """Build a cluster, run the scenario, return the cluster."""
+    cluster = Cluster(config)
+    cluster.run(scenario)
+    return cluster

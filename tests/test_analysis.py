@@ -1,0 +1,122 @@
+"""CSV export and protocol anatomy."""
+
+import pytest
+
+from repro.analysis import (
+    control_records_csv,
+    copier_records_csv,
+    faillock_series_csv,
+    message_anatomy,
+    protocol_summary,
+    txn_message_count,
+    txn_records_csv,
+    write_csv,
+)
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.scenario import FailSite, FixedSite, RecoverSite, Scenario
+from repro.txn.operations import OpKind, Operation
+from repro.workload.base import WorkloadGenerator
+
+from conftest import make_scenario, run_cluster
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = SystemConfig(db_size=10, num_sites=3, max_txn_size=4, seed=8)
+    scenario = make_scenario(config, 25)
+    scenario.add_action(5, FailSite(2))
+    scenario.add_action(15, RecoverSite(2))
+    cluster = run_cluster(config, scenario)
+    return cluster
+
+
+def test_faillock_csv_shape(run):
+    rows = faillock_series_csv(run.metrics)
+    assert rows[0] == ["txn_seq", "time_ms", "site_0", "site_1", "site_2"]
+    assert len(rows) == 26  # header + 25 samples
+    assert rows[1][0] == "1"
+
+
+def test_txn_csv_shape(run):
+    rows = txn_records_csv(run.metrics)
+    assert rows[0][0] == "txn_id"
+    assert len(rows) == 26
+    assert all(row[3] in ("0", "1") for row in rows[1:])
+
+
+def test_control_and_copier_csv(run):
+    controls = control_records_csv(run.metrics)
+    assert controls[0][0] == "kind"
+    assert len(controls) >= 2  # at least the type-1 pair
+    copiers = copier_records_csv(run.metrics)
+    assert copiers[0][0] == "txn_id"
+
+
+def test_write_csv_roundtrip(run, tmp_path):
+    import csv
+
+    path = write_csv(faillock_series_csv(run.metrics), tmp_path / "locks.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows == faillock_series_csv(run.metrics)
+
+
+def test_message_anatomy_of_clean_write():
+    """A single-write transaction over 3 sites: 2 VOTE_REQ + 2 VOTE_ACK +
+    2 COMMIT + 2 COMMIT_ACK = 8 protocol messages."""
+
+    class OneWrite(WorkloadGenerator):
+        def generate(self, txn_seq, rng):
+            return [Operation(OpKind.WRITE, 1)]
+
+    config = SystemConfig(db_size=4, num_sites=3, max_txn_size=2, seed=8)
+    cluster = Cluster(config)
+    cluster.run(Scenario(workload=OneWrite(), txn_count=1, policy=FixedSite(0)))
+    anatomy = message_anatomy(cluster.network.trace, 1)
+    assert anatomy == {
+        "vote_req": 2,
+        "vote_ack": 2,
+        "commit": 2,
+        "commit_ack": 2,
+    }
+    assert txn_message_count(cluster.network.trace, 1) == 8
+
+
+def test_read_only_txn_has_no_protocol_messages():
+    class OneRead(WorkloadGenerator):
+        def generate(self, txn_seq, rng):
+            return [Operation(OpKind.READ, 1)]
+
+    config = SystemConfig(db_size=4, num_sites=3, max_txn_size=2, seed=8)
+    cluster = Cluster(config)
+    cluster.run(Scenario(workload=OneRead(), txn_count=1, policy=FixedSite(0)))
+    assert txn_message_count(cluster.network.trace, 1) == 0
+
+
+def test_protocol_summary_classes(run):
+    rows = protocol_summary(run.network.trace, run.metrics)
+    by_label = {r.label: r for r in rows}
+    clean = by_label["committed, no copier"]
+    assert clean.txns > 0
+    assert clean.avg_messages > 0
+    assert clean.avg_communication_ms == pytest.approx(clean.avg_messages * 9.0)
+
+
+def test_copier_txns_cost_more_messages():
+    """Compare anatomy of copier vs non-copier committed transactions in a
+    recovery run that generates at least one copier."""
+    config = SystemConfig(db_size=6, num_sites=3, max_txn_size=4, seed=12)
+    scenario = make_scenario(config, 60)
+    scenario.add_action(2, FailSite(0))
+    scenario.add_action(20, RecoverSite(0))
+    from repro.system.scenario import Weighted
+
+    scenario.policy = Weighted({0: 1.0, 1: 0.01, 2: 0.01})
+    cluster = run_cluster(config, scenario)
+    rows = protocol_summary(cluster.network.trace, cluster.metrics)
+    by_label = {r.label: r for r in rows}
+    with_copier = by_label["committed, with copier"]
+    without = by_label["committed, no copier"]
+    assert with_copier.txns > 0
+    assert with_copier.avg_messages > without.avg_messages

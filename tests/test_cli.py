@@ -1,0 +1,61 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for command in ("exp1", "fig1", "fig2", "fig3", "ablations", "report"):
+        args = parser.parse_args([command])
+        assert args.command == command
+        assert callable(args.fn)
+
+
+def test_seed_flag():
+    args = build_parser().parse_args(["--seed", "9", "fig1"])
+    assert args.seed == 9
+
+
+def test_concurrent_flags():
+    args = build_parser().parse_args(
+        ["concurrent", "--txns", "50", "--rates", "1.5", "3.0"]
+    )
+    assert args.txns == 50
+    assert args.rates == [1.5, 3.0]
+
+
+def test_fig2_runs(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "aborts:" in out
+
+
+def test_fig3_runs(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "(paper: 0)" in out
+
+
+def test_fig1_runs_with_seed(capsys):
+    assert main(["--seed", "7", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "txns to recover" in out
+
+
+def test_report_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "EXP.md"
+    assert main(["report", "--output", str(out_file)]) == 0
+    content = out_file.read_text()
+    assert "paper vs. measured" in content
+    assert "Figure 1" in content
+    assert "Experiment 3" in content

@@ -1,0 +1,65 @@
+"""Network partitions: the substrate behaviour the protocol must survive."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import FailureDetection, SystemConfig
+from repro.system.scenario import (
+    FixedSite,
+    HealNetwork,
+    PartitionNetwork,
+    Scenario,
+)
+from repro.txn.operations import OpKind, Operation
+from repro.workload.base import WorkloadGenerator
+
+from conftest import make_scenario, run_cluster
+
+
+class OneWrite(WorkloadGenerator):
+    def generate(self, txn_seq, rng):
+        return [Operation(OpKind.WRITE, 1)]
+
+
+def test_partition_isolates_participant():
+    """A coordinator partitioned from a participant discovers it exactly
+    like a site failure (timeout detection) and aborts the transaction."""
+    config = SystemConfig(
+        db_size=6, num_sites=3, max_txn_size=3, seed=1,
+        detection=FailureDetection.TIMEOUT,
+    )
+    scenario = Scenario(workload=OneWrite(), txn_count=6, policy=FixedSite(0))
+    scenario.add_action(3, PartitionNetwork(groups=((0, 1), (2,))))
+    scenario.add_action(5, HealNetwork())
+    cluster = Cluster(config)
+    metrics = cluster.run(scenario)
+    # Txn 3 hits the partition, aborts, announces type 2; txn 4 proceeds
+    # without site 2.
+    assert metrics.counters["aborts"] == 1
+    assert metrics.aborted[0].seq == 3
+    assert metrics.counters["commits"] == 5
+    # Site 2 was marked down and fail-locked even though it never crashed.
+    assert cluster.site(0).faillocks.count_for(2) > 0
+
+
+def test_heal_alone_does_not_clear_faillocks():
+    """After the partition heals, the isolated site's copies stay
+    fail-locked until it runs recovery — the safe behaviour."""
+    config = SystemConfig(
+        db_size=6, num_sites=3, max_txn_size=3, seed=1,
+        detection=FailureDetection.TIMEOUT,
+    )
+    scenario = Scenario(workload=OneWrite(), txn_count=8, policy=FixedSite(0))
+    scenario.add_action(3, PartitionNetwork(groups=((0, 1), (2,))))
+    scenario.add_action(6, HealNetwork())
+    cluster = Cluster(config)
+    cluster.run(scenario)
+    assert cluster.site(0).faillocks.count_for(2) > 0
+
+
+def test_partition_scenario_action_roundtrip():
+    scenario = make_scenario(SystemConfig(db_size=4, num_sites=2, seed=1), 5)
+    scenario.add_action(2, PartitionNetwork(groups=((0,), (1,))))
+    scenario.add_action(3, HealNetwork())
+    assert len(scenario.actions[2]) == 1
+    assert len(scenario.actions[3]) == 1

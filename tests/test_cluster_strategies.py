@@ -1,0 +1,158 @@
+"""Cluster integration: ROWA / quorum baselines and detection modes."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import CopyControlStrategy, FailureDetection, SystemConfig
+from repro.system.scenario import FailSite, FixedSite, RecoverSite, Scenario
+from repro.txn.operations import OpKind, Operation
+from repro.workload.base import WorkloadGenerator
+
+from conftest import make_scenario, run_cluster
+
+
+class OneOp(WorkloadGenerator):
+    """Every transaction is the same single operation."""
+
+    def __init__(self, op: Operation):
+        self.op = op
+
+    def generate(self, txn_seq, rng):
+        return [self.op]
+
+
+def config_with(strategy, **kw):
+    return SystemConfig(
+        db_size=10, num_sites=4, max_txn_size=4, seed=3, strategy=strategy, **kw
+    )
+
+
+# -- strict ROWA --------------------------------------------------------------------
+
+
+def test_rowa_commits_when_all_up():
+    config = config_with(CopyControlStrategy.ROWA)
+    cluster = run_cluster(config, make_scenario(config, 20))
+    assert cluster.metrics.counters["commits"] == 20
+
+
+def test_rowa_blocks_writes_during_failure():
+    config = config_with(CopyControlStrategy.ROWA)
+    scenario = Scenario(
+        workload=OneOp(Operation(OpKind.WRITE, 1)), txn_count=10
+    )
+    scenario.add_action(1, FailSite(3))
+    scenario.add_action(6, RecoverSite(3))
+    cluster = run_cluster(config, scenario)
+    metrics = cluster.metrics
+    assert metrics.counters["aborts"] == 5
+    assert all(
+        t.abort_reason.value == "write_all_blocked" for t in metrics.aborted
+    )
+    assert metrics.counters["commits"] == 5
+
+
+def test_rowa_reads_survive_failure():
+    config = config_with(CopyControlStrategy.ROWA)
+    scenario = Scenario(workload=OneOp(Operation(OpKind.READ, 1)), txn_count=10)
+    scenario.add_action(1, FailSite(3))
+    cluster = run_cluster(config, scenario)
+    assert cluster.metrics.counters["commits"] == 10
+
+
+# -- quorum consensus ------------------------------------------------------------------
+
+
+def test_quorum_commits_with_majority():
+    config = config_with(CopyControlStrategy.QUORUM)
+    scenario = make_scenario(config, 20)
+    scenario.add_action(1, FailSite(3))   # 3 of 4 up: majority holds
+    cluster = run_cluster(config, scenario)
+    assert cluster.metrics.counters["aborts"] == 0
+
+
+def test_quorum_aborts_below_majority():
+    config = config_with(CopyControlStrategy.QUORUM)
+    scenario = make_scenario(config, 10)
+    scenario.add_action(1, FailSite(2))
+    scenario.add_action(1, FailSite(3))   # 2 of 4: below majority (3)
+    cluster = run_cluster(config, scenario)
+    metrics = cluster.metrics
+    assert metrics.counters["commits"] == 0
+    assert all(
+        t.abort_reason.value == "quorum_unavailable" for t in metrics.aborted
+    )
+
+
+def test_quorum_reads_resolve_newest_version():
+    """A recovered site's stale copy is overridden by peer versions."""
+    config = SystemConfig(
+        db_size=4, num_sites=3, max_txn_size=2, seed=3,
+        strategy=CopyControlStrategy.QUORUM,
+    )
+
+    class Script(WorkloadGenerator):
+        def generate(self, txn_seq, rng):
+            if txn_seq == 2:
+                return [Operation(OpKind.WRITE, 1)]
+            return [Operation(OpKind.READ, 1)]
+
+    class Policy:
+        def choose(self, seq, up_sites, rng):
+            return 2 if seq >= 4 and 2 in up_sites else up_sites[0]
+
+    scenario = Scenario(workload=Script(), txn_count=4, policy=Policy())
+    scenario.add_action(1, FailSite(2))      # site 2 misses the write
+    scenario.add_action(4, RecoverSite(2))   # comes back with a stale copy
+    cluster = Cluster(config)
+    metrics = cluster.run(scenario)
+    assert metrics.counters["commits"] == 4
+    # Under quorum there are no fail-locks/copiers; the read at site 2 must
+    # still have returned the newest value, learned from the vote answers.
+    from repro.site.coordinator import write_value
+
+    txn4 = [t for t in metrics.txns if t.seq == 4][0]
+    assert txn4.committed
+    # The coordinator's merged read is not directly recorded; verify via
+    # the participant-version mechanism: site 2's local copy was stale.
+    assert cluster.site(2).db.version(1) == 0
+    # ... and the up-to-date sites have the write.
+    assert cluster.site(0).db.version(1) == 1
+
+
+# -- timeout detection ----------------------------------------------------------------
+
+
+def test_timeout_detection_aborts_first_txn_then_recovers():
+    config = SystemConfig(
+        db_size=10, num_sites=3, max_txn_size=4, seed=3,
+        detection=FailureDetection.TIMEOUT,
+    )
+    scenario = Scenario(
+        workload=OneOp(Operation(OpKind.WRITE, 1)),
+        txn_count=10,
+        policy=FixedSite(0),
+    )
+    scenario.add_action(3, FailSite(2))
+    cluster = run_cluster(config, scenario)
+    metrics = cluster.metrics
+    # Exactly one abort: the first write after the silent failure.
+    assert metrics.counters["aborts"] == 1
+    assert metrics.aborted[0].abort_reason.value == "participant_failed"
+    assert metrics.aborted[0].seq == 3
+    # A type-2 control transaction was triggered by the discovery.
+    assert metrics.counters["control_type2"] >= 1
+    # Everything after commits against the surviving site.
+    assert metrics.counters["commits"] == 9
+
+
+def test_timeout_detection_consistency_preserved():
+    config = SystemConfig(
+        db_size=10, num_sites=3, max_txn_size=4, seed=3,
+        detection=FailureDetection.TIMEOUT,
+    )
+    scenario = make_scenario(config, 30)
+    scenario.add_action(5, FailSite(1))
+    scenario.add_action(20, RecoverSite(1))
+    cluster = run_cluster(config, scenario)
+    assert cluster.audit_consistency() == []

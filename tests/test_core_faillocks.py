@@ -1,0 +1,152 @@
+"""FailLockTable: the bit-map semantics of §1.1/§1.2."""
+
+import pytest
+
+from repro.core.faillocks import FailLockTable
+from repro.core.sessions import NominalSessionVector
+from repro.errors import FailLockError
+
+
+@pytest.fixture
+def table() -> FailLockTable:
+    return FailLockTable(site_ids=[0, 1, 2, 3], item_ids=range(5))
+
+
+@pytest.fixture
+def nsv() -> NominalSessionVector:
+    return NominalSessionVector(owner=0, site_ids=[0, 1, 2, 3])
+
+
+def test_initially_unlocked(table):
+    assert table.total_locks() == 0
+    assert not table.is_locked(0, 0)
+    assert table.count_for(2) == 0
+
+
+def test_set_and_clear(table):
+    table.set_lock(3, 2)
+    assert table.is_locked(3, 2)
+    assert not table.is_locked(3, 1)
+    table.clear_lock(3, 2)
+    assert not table.is_locked(3, 2)
+
+
+def test_set_is_idempotent(table):
+    table.set_lock(1, 1)
+    table.set_lock(1, 1)
+    assert table.count_for(1) == 1
+
+
+def test_clear_unset_is_noop(table):
+    table.clear_lock(0, 0)
+    assert table.total_locks() == 0
+
+
+def test_locked_items_for(table):
+    table.set_lock(4, 1)
+    table.set_lock(2, 1)
+    table.set_lock(2, 3)
+    assert table.locked_items_for(1) == [2, 4]
+    assert table.locked_items_for(3) == [2]
+    assert table.count_for(1) == 2
+
+
+def test_up_to_date_sites(table):
+    table.set_lock(2, 1)
+    assert table.up_to_date_sites(2) == [0, 2, 3]
+
+
+def test_mask_is_bitmap(table):
+    table.set_lock(0, 0)
+    table.set_lock(0, 2)
+    assert table.mask(0) == 0b0101
+
+
+def test_unknown_item_and_site(table):
+    with pytest.raises(FailLockError):
+        table.set_lock(99, 0)
+    with pytest.raises(FailLockError):
+        table.set_lock(0, 99)
+
+
+def test_update_on_commit_sets_for_down_clears_for_up(table, nsv):
+    nsv.mark_down(2)
+    table.set_lock(1, 3)  # stale lock for an UP site: must be re-cleared
+    table.update_on_commit([1], nsv)
+    assert table.is_locked(1, 2)       # down site missed the update
+    assert not table.is_locked(1, 3)   # up site re-cleared (paper §1.2)
+    assert not table.is_locked(1, 0)
+
+
+def test_update_on_commit_only_touches_written_items(table, nsv):
+    nsv.mark_down(1)
+    table.update_on_commit([0, 2], nsv)
+    assert table.is_locked(0, 1)
+    assert table.is_locked(2, 1)
+    assert not table.is_locked(1, 1)
+
+
+def test_update_on_commit_treats_recovering_as_missed(table, nsv):
+    nsv.mark_recovering(3, 2)
+    table.update_on_commit([0], nsv)
+    assert table.is_locked(0, 3)
+
+
+def test_snapshot_and_install(table):
+    table.set_lock(1, 2)
+    other = FailLockTable(site_ids=[0, 1, 2, 3], item_ids=range(5))
+    other.set_lock(4, 0)  # will be overwritten by install
+    other.install(table.snapshot())
+    assert other == table
+    assert not other.is_locked(4, 0)
+
+
+def test_install_rejects_unknown_items(table):
+    other = FailLockTable(site_ids=[0, 1], item_ids=range(2))
+    with pytest.raises(FailLockError):
+        table.install(other.snapshot() | {77: 1})
+
+
+def test_merge_is_union(table):
+    other = FailLockTable(site_ids=[0, 1, 2, 3], item_ids=range(5))
+    table.set_lock(0, 1)
+    other.set_lock(0, 2)
+    table.merge(other.snapshot())
+    assert table.is_locked(0, 1)
+    assert table.is_locked(0, 2)
+
+
+def test_add_item(table):
+    table.add_item(50)
+    table.set_lock(50, 0)
+    assert table.is_locked(50, 0)
+    with pytest.raises(FailLockError):
+        table.add_item(50)
+
+
+def test_total_locks_counts_bits(table):
+    table.set_lock(0, 0)
+    table.set_lock(0, 1)
+    table.set_lock(3, 2)
+    assert table.total_locks() == 3
+
+
+def test_update_with_recipients_exact_sets(table):
+    table.set_lock(1, 0)  # stale knowledge: will be overwritten exactly
+    ops = table.update_with_recipients({1: [0, 2]})
+    assert ops == 4
+    assert not table.is_locked(1, 0)
+    assert table.is_locked(1, 1)
+    assert not table.is_locked(1, 2)
+    assert table.is_locked(1, 3)
+
+
+def test_update_with_recipients_multiple_items(table):
+    table.update_with_recipients({0: [0, 1, 2, 3], 2: [3]})
+    assert table.mask(0) == 0
+    assert table.up_to_date_sites(2) == [3]
+
+
+def test_update_with_recipients_validates_item(table):
+    with pytest.raises(FailLockError):
+        table.update_with_recipients({99: [0]})

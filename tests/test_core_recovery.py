@@ -1,0 +1,105 @@
+"""RecoveryManager: lifecycle, bookkeeping, two-step policy."""
+
+import pytest
+
+from repro.core.faillocks import FailLockTable
+from repro.core.recovery import RecoveryManager, RecoveryPolicy
+
+
+def make(policy=RecoveryPolicy.ON_DEMAND, threshold=0.2, batch_size=5, stale=()):
+    locks = FailLockTable(site_ids=[0, 1], item_ids=range(10))
+    for item in stale:
+        locks.set_lock(item, 0)
+    manager = RecoveryManager(
+        owner=0,
+        faillocks=locks,
+        policy=policy,
+        batch_threshold=threshold,
+        batch_size=batch_size,
+    )
+    return locks, manager
+
+
+def test_begin_records_initial_stale():
+    _locks, manager = make(stale=[1, 2, 3])
+    manager.begin(time=10.0)
+    assert manager.in_recovery
+    assert manager.stats.initial_stale == 3
+    assert manager.stale_count == 3
+    assert manager.stale_items() == [1, 2, 3]
+    assert manager.stale_fraction() == pytest.approx(0.3)
+
+
+def test_begin_with_nothing_stale_completes_immediately():
+    _locks, manager = make()
+    manager.begin(time=5.0)
+    assert not manager.in_recovery
+    assert manager.stats.complete
+    assert manager.stats.finished_at == 5.0
+
+
+def test_completion_when_locks_clear():
+    locks, manager = make(stale=[4])
+    manager.begin(time=0.0)
+    locks.clear_lock(4, 0)
+    manager.note_refreshed_by_write(1, time=7.0)
+    assert not manager.in_recovery
+    assert manager.stats.finished_at == 7.0
+    assert manager.stats.refreshed_by_write == 1
+
+
+def test_copier_bookkeeping():
+    locks, manager = make(stale=[1, 2])
+    manager.begin(time=0.0)
+    manager.note_copier_request()
+    manager.note_copier_request(batch=True)
+    locks.clear_lock(1, 0)
+    locks.clear_lock(2, 0)
+    manager.note_refreshed_by_copier(2, time=3.0)
+    assert manager.stats.copier_requests == 2
+    assert manager.stats.batch_copier_requests == 1
+    assert manager.stats.refreshed_by_copier == 2
+    assert manager.stats.complete
+
+
+def test_on_demand_never_wants_batch():
+    _locks, manager = make(stale=[1])
+    manager.begin(time=0.0)
+    assert not manager.wants_batch_copier()
+
+
+def test_two_step_waits_for_threshold():
+    locks, manager = make(policy=RecoveryPolicy.TWO_STEP, threshold=0.2,
+                          stale=[0, 1, 2, 3, 4])
+    manager.begin(time=0.0)
+    assert manager.stale_fraction() == 0.5
+    assert not manager.wants_batch_copier()  # 50% > 20% threshold
+    for item in (0, 1, 2):
+        locks.clear_lock(item, 0)
+    manager.note_refreshed_by_write(3, time=1.0)
+    assert manager.stale_fraction() == 0.2
+    assert manager.wants_batch_copier()
+
+
+def test_two_step_stops_when_done():
+    locks, manager = make(policy=RecoveryPolicy.TWO_STEP, threshold=1.0, stale=[1])
+    manager.begin(time=0.0)
+    assert manager.wants_batch_copier()
+    locks.clear_lock(1, 0)
+    manager.note_refreshed_by_copier(1, time=1.0)
+    assert not manager.wants_batch_copier()
+
+
+def test_next_batch_respects_size():
+    _locks, manager = make(policy=RecoveryPolicy.TWO_STEP, threshold=1.0,
+                           batch_size=2, stale=[5, 1, 3])
+    manager.begin(time=0.0)
+    assert manager.next_batch() == [1, 3]
+
+
+def test_validation():
+    locks = FailLockTable(site_ids=[0], item_ids=range(2))
+    with pytest.raises(ValueError):
+        RecoveryManager(0, locks, batch_threshold=1.5)
+    with pytest.raises(ValueError):
+        RecoveryManager(0, locks, batch_size=0)

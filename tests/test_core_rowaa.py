@@ -1,0 +1,93 @@
+"""RowaaPlanner: read plans and write sets."""
+
+import pytest
+
+from repro.core.faillocks import FailLockTable
+from repro.core.rowaa import ReadSource, RowaaPlanner
+from repro.core.sessions import NominalSessionVector
+from repro.storage.catalog import ReplicationCatalog
+
+
+@pytest.fixture
+def parts():
+    sites = [0, 1, 2]
+    items = list(range(4))
+    nsv = NominalSessionVector(owner=0, site_ids=sites)
+    locks = FailLockTable(site_ids=sites, item_ids=items)
+    catalog = ReplicationCatalog.fully_replicated(items, sites)
+    planner = RowaaPlanner(0, nsv, locks, catalog)
+    return nsv, locks, catalog, planner
+
+
+def test_local_read_when_clean(parts):
+    _nsv, _locks, _cat, planner = parts
+    plan = planner.plan_read(1)
+    assert plan.source is ReadSource.LOCAL
+
+
+def test_copier_needed_when_locally_locked(parts):
+    _nsv, locks, _cat, planner = parts
+    locks.set_lock(1, 0)
+    plan = planner.plan_read(1)
+    assert plan.source is ReadSource.COPIER_NEEDED
+    assert plan.site_id == 1  # lowest up-to-date operational peer
+
+
+def test_copier_source_skips_locked_peers(parts):
+    _nsv, locks, _cat, planner = parts
+    locks.set_lock(1, 0)
+    locks.set_lock(1, 1)
+    assert planner.plan_read(1).site_id == 2
+
+
+def test_unavailable_when_no_good_copy_reachable(parts):
+    nsv, locks, _cat, planner = parts
+    locks.set_lock(1, 0)
+    locks.set_lock(1, 1)
+    nsv.mark_down(2)
+    assert planner.plan_read(1).source is ReadSource.UNAVAILABLE
+
+
+def test_unavailable_when_all_others_down(parts):
+    nsv, locks, _cat, planner = parts
+    locks.set_lock(1, 0)
+    nsv.mark_down(1)
+    nsv.mark_down(2)
+    assert planner.plan_read(1).source is ReadSource.UNAVAILABLE
+
+
+def test_remote_read_without_local_copy():
+    sites = [0, 1]
+    items = [0]
+    nsv = NominalSessionVector(owner=0, site_ids=sites)
+    locks = FailLockTable(site_ids=sites, item_ids=items)
+    catalog = ReplicationCatalog(items, sites)
+    catalog.add_copy(0, 1)  # only site 1 holds item 0
+    planner = RowaaPlanner(0, nsv, locks, catalog)
+    plan = planner.plan_read(0)
+    assert plan.source is ReadSource.REMOTE
+    assert plan.site_id == 1
+
+
+def test_write_sites_excludes_down(parts):
+    nsv, _locks, _cat, planner = parts
+    nsv.mark_down(1)
+    assert planner.write_sites(2) == [0, 2]
+
+
+def test_participants_for_writes(parts):
+    nsv, _locks, _cat, planner = parts
+    nsv.mark_down(2)
+    assert planner.participants_for([0, 1]) == [1]
+
+
+def test_participants_empty_when_alone(parts):
+    nsv, _locks, _cat, planner = parts
+    nsv.mark_down(1)
+    nsv.mark_down(2)
+    assert planner.participants_for([0]) == []
+
+
+def test_up_to_date_source_can_include_owner(parts):
+    _nsv, _locks, _cat, planner = parts
+    assert planner.up_to_date_source(0, exclude_owner=False) == 0

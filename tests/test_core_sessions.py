@@ -1,0 +1,100 @@
+"""Session numbers and nominal session vectors."""
+
+import pytest
+
+from repro.core.sessions import NominalSessionVector, SessionRecord, SiteState
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def nsv() -> NominalSessionVector:
+    return NominalSessionVector(owner=0, site_ids=[0, 1, 2, 3])
+
+
+def test_initial_all_up(nsv):
+    assert nsv.operational_sites() == [0, 1, 2, 3]
+    assert nsv.my_session == 1
+    assert nsv.is_operational(2)
+
+
+def test_owner_must_be_member():
+    with pytest.raises(SessionError):
+        NominalSessionVector(owner=9, site_ids=[0, 1])
+
+
+def test_mark_down_excludes_from_operational(nsv):
+    nsv.mark_down(2)
+    assert nsv.state_of(2) is SiteState.DOWN
+    assert nsv.operational_sites() == [0, 1, 3]
+    assert nsv.down_sites() == [2]
+
+
+def test_operational_peers_excludes_owner(nsv):
+    assert nsv.operational_peers() == [1, 2, 3]
+
+
+def test_begin_new_session_increments(nsv):
+    session = nsv.begin_new_session()
+    assert session == 2
+    assert nsv.my_session == 2
+    assert nsv.state_of(0) is SiteState.RECOVERING
+
+
+def test_recovering_site_not_operational(nsv):
+    nsv.mark_recovering(1, 2)
+    assert not nsv.is_operational(1)
+    assert nsv.session_of(1) == 2
+
+
+def test_mark_recovering_rejects_stale_session(nsv):
+    nsv.mark_recovering(1, 5)
+    with pytest.raises(SessionError):
+        nsv.mark_recovering(1, 4)
+
+
+def test_mark_up_with_session(nsv):
+    nsv.mark_down(1)
+    nsv.mark_up(1, session=3)
+    assert nsv.is_operational(1)
+    assert nsv.session_of(1) == 3
+
+
+def test_mark_up_rejects_stale_session(nsv):
+    nsv.mark_up(1, session=4)
+    with pytest.raises(SessionError):
+        nsv.mark_up(1, session=2)
+
+
+def test_terminating_not_operational(nsv):
+    nsv.mark_terminating(3)
+    assert not nsv.is_operational(3)
+
+
+def test_install_keeps_own_entry(nsv):
+    nsv.begin_new_session()  # owner now session 2, RECOVERING
+    incoming = [
+        SessionRecord(site_id=0, session=1, state=SiteState.DOWN),  # stale view of us
+        SessionRecord(site_id=1, session=7, state=SiteState.DOWN),
+        SessionRecord(site_id=2, session=3, state=SiteState.UP),
+        SessionRecord(site_id=3, session=1, state=SiteState.UP),
+    ]
+    nsv.install(incoming)
+    assert nsv.my_session == 2  # our own entry preserved
+    assert nsv.session_of(1) == 7
+    assert nsv.state_of(1) is SiteState.DOWN
+
+
+def test_install_rejects_unknown_site(nsv):
+    with pytest.raises(SessionError):
+        nsv.install([SessionRecord(site_id=42)])
+
+
+def test_snapshot_is_deep(nsv):
+    snap = nsv.snapshot()
+    snap[1].session = 99
+    assert nsv.session_of(1) == 1
+
+
+def test_unknown_site_raises(nsv):
+    with pytest.raises(SessionError):
+        nsv.record(42)

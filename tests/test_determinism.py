@@ -1,0 +1,60 @@
+"""Reproducibility: identical configs produce identical runs."""
+
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.scenario import FailSite, RecoverSite
+
+from conftest import make_scenario
+
+
+def run_once(seed=31):
+    config = SystemConfig(db_size=20, num_sites=3, max_txn_size=5, seed=seed)
+    scenario = make_scenario(config, 40)
+    scenario.add_action(5, FailSite(1))
+    scenario.add_action(25, RecoverSite(1))
+    cluster = Cluster(config)
+    metrics = cluster.run(scenario)
+    return cluster, metrics
+
+
+def fingerprint(cluster, metrics):
+    return (
+        cluster.now,
+        [(t.seq, t.coordinator, t.committed, t.coordinator_elapsed)
+         for t in metrics.txns],
+        [(s.seq, tuple(sorted(s.locks_per_site.items())))
+         for s in metrics.faillock_samples],
+        [site.db.dump() for site in cluster.sites],
+        cluster.network.messages_sent,
+    )
+
+
+def test_same_seed_identical_runs():
+    a = fingerprint(*run_once())
+    b = fingerprint(*run_once())
+    assert a == b
+
+
+def test_different_seed_differs():
+    a = fingerprint(*run_once(seed=31))
+    b = fingerprint(*run_once(seed=32))
+    assert a != b
+
+
+def test_message_trace_identical():
+    c1, _ = run_once()
+    c2, _ = run_once()
+    t1 = [(e.mtype, e.src, e.dst, e.send_time, e.deliver_time, e.delivered)
+          for e in c1.network.trace.entries]
+    t2 = [(e.mtype, e.src, e.dst, e.send_time, e.deliver_time, e.delivered)
+          for e in c2.network.trace.entries]
+    assert t1 == t2
+
+
+def test_experiment_runners_are_deterministic():
+    from repro.experiments import run_scenario2
+
+    a = run_scenario2(seed=7, settle=False)
+    b = run_scenario2(seed=7, settle=False)
+    assert a.series == b.series
+    assert a.aborts == b.aborts

@@ -1,0 +1,176 @@
+"""Experiment runners reproduce the paper's results (shape and bands).
+
+These are the headline assertions of the reproduction: each runner must
+land within a tolerance band of the published value, or match the
+qualitative claim exactly (who aborts, what clears, which direction a
+trend runs).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_control_overhead,
+    run_copier_overhead,
+    run_faillock_overhead,
+    run_figure1,
+    run_scenario1,
+    run_scenario2,
+)
+from repro.experiments import exp1
+
+
+def within(measured, paper, tolerance=0.25):
+    return abs(measured - paper) <= tolerance * paper
+
+
+@pytest.fixture(scope="module")
+def faillock_result():
+    return run_faillock_overhead()
+
+
+@pytest.fixture(scope="module")
+def control_result():
+    return run_control_overhead()
+
+
+@pytest.fixture(scope="module")
+def copier_result():
+    return run_copier_overhead()
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1()
+
+
+@pytest.fixture(scope="module")
+def scenario1():
+    return run_scenario1()
+
+
+@pytest.fixture(scope="module")
+def scenario2():
+    return run_scenario2()
+
+
+# -- Experiment 1 --------------------------------------------------------------
+
+
+def test_e1t1_absolute_bands(faillock_result):
+    r = faillock_result
+    assert within(r.coord_without, exp1.PAPER_COORD_NO_FL, 0.15)
+    assert within(r.coord_with, exp1.PAPER_COORD_FL, 0.15)
+    assert within(r.part_without, exp1.PAPER_PART_NO_FL, 0.15)
+    assert within(r.part_with, exp1.PAPER_PART_FL, 0.15)
+
+
+def test_e1t1_overhead_is_slight(faillock_result):
+    """The paper's conclusion: fail-lock maintenance is a slight increase."""
+    assert 2.0 < faillock_result.coord_overhead_pct < 12.0
+    assert 2.0 < faillock_result.part_overhead_pct < 12.0
+
+
+def test_e1t2_control_bands(control_result):
+    assert within(control_result.type1_recovering, exp1.PAPER_TYPE1_RECOVERING, 0.15)
+    assert within(control_result.type1_operational, exp1.PAPER_TYPE1_OPERATIONAL, 0.15)
+    assert within(control_result.type2, exp1.PAPER_TYPE2, 0.15)
+
+
+def test_e1t2_type1_recovering_costs_more_than_operational(control_result):
+    assert control_result.type1_recovering > 3 * control_result.type1_operational
+
+
+def test_e1t3_copier_increase_near_45_pct(copier_result):
+    assert 30.0 < copier_result.increase_pct < 60.0
+
+
+def test_e1t3_micro_overheads(copier_result):
+    assert copier_result.copy_request_overhead == pytest.approx(25.0, abs=3)
+    assert copier_result.clear_faillocks_time == pytest.approx(20.0, abs=3)
+
+
+def test_e1t3_clearing_share_near_30_points(copier_result):
+    assert 15.0 < copier_result.clearing_share_pct < 45.0
+
+
+def test_e1t3_has_samples(copier_result):
+    assert copier_result.samples >= 5
+
+
+# -- Experiment 2 / Figure 1 -----------------------------------------------------
+
+
+def test_figure1_peak_over_90_pct(figure1):
+    assert figure1.peak_fraction > 0.90
+
+
+def test_figure1_recovers_same_order_as_paper(figure1):
+    assert 60 <= figure1.report.txns_to_recover <= 320  # paper: ~160
+
+
+def test_figure1_few_copiers(figure1):
+    assert figure1.copiers <= 5  # paper: 2
+
+
+def test_figure1_no_aborts(figure1):
+    assert figure1.aborts == 0
+
+
+def test_figure1_clearing_rate_slows(figure1):
+    """The paper's key observation: early buckets clear much faster than
+    the last one."""
+    buckets = figure1.report.clearing_buckets
+    assert len(buckets) >= 3
+    first = buckets[0][1]
+    last = buckets[-1][1]
+    assert last > 2 * first
+
+
+def test_figure1_site1_never_locked(figure1):
+    assert all(v == 0 for _s, v in figure1.series[1])
+
+
+# -- Experiment 3 / Figures 2-3 -----------------------------------------------------
+
+
+def test_scenario1_has_copy_unavailable_aborts(scenario1):
+    assert scenario1.aborts > 0          # paper: 13
+    assert scenario1.aborts < 30
+    assert set(scenario1.abort_reasons) == {"copy_unavailable"}
+
+
+def test_scenario1_both_sites_locked_at_some_point(scenario1):
+    assert scenario1.peak(0) > 0
+    assert scenario1.peak(1) > 0
+
+
+def test_scenario1_ends_consistent(scenario1):
+    assert scenario1.consistency_violations == []
+    assert all(v == 0 for v in scenario1.final_locks.values())
+
+
+def test_scenario2_no_aborts(scenario2):
+    assert scenario2.aborts == 0         # paper: 0
+
+
+def test_scenario2_each_site_locked_in_turn(scenario2):
+    for site in range(4):
+        assert scenario2.peak(site) > 0
+
+
+def test_scenario2_ends_consistent(scenario2):
+    assert scenario2.consistency_violations == []
+    assert all(v == 0 for v in scenario2.final_locks.values())
+
+
+def test_scenario2_lock_windows_follow_failures(scenario2):
+    """Site k's fail-locks rise only during its down window."""
+    for site, window_start in ((0, 1), (1, 26), (2, 51), (3, 76)):
+        before = [v for s, v in scenario2.series[site] if s < window_start]
+        assert all(v == 0 for v in before)
+
+
+def test_charts_render(figure1, scenario1, scenario2):
+    for result in (figure1, scenario1, scenario2):
+        out = result.chart()
+        assert "site 0" in out

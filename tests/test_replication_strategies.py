@@ -1,0 +1,108 @@
+"""Replication strategy predicates and analytic availability."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.replication import (
+    PrimaryCopyStrategy,
+    QuorumStrategy,
+    RowaStrategy,
+    RowaaStrategy,
+)
+
+
+def test_rowaa_available_with_one_site():
+    s = RowaaStrategy(4)
+    assert s.can_read({2})
+    assert s.can_write({2})
+    assert not s.can_write(set())
+
+
+def test_rowa_write_needs_all():
+    s = RowaStrategy(4)
+    assert s.can_read({0})
+    assert s.can_write({0, 1, 2, 3})
+    assert not s.can_write({0, 1, 2})
+
+
+def test_quorum_majority_default():
+    s = QuorumStrategy(4)
+    assert s.read_quorum == 3 and s.write_quorum == 3
+    assert s.can_write({0, 1, 2})
+    assert not s.can_write({0, 1})
+
+
+def test_quorum_custom_rw():
+    s = QuorumStrategy(5, read_quorum=2, write_quorum=4)
+    assert s.can_read({0, 1})
+    assert not s.can_read({0})
+    assert s.can_write({0, 1, 2, 3})
+
+
+def test_quorum_rejects_non_intersecting():
+    with pytest.raises(ConfigurationError):
+        QuorumStrategy(4, read_quorum=2, write_quorum=2)  # r+w <= n
+    with pytest.raises(ConfigurationError):
+        QuorumStrategy(5, read_quorum=4, write_quorum=2)  # 2w <= n
+
+
+def test_primary_copy_write_needs_primary():
+    s = PrimaryCopyStrategy(3, primary=1)
+    assert s.can_write({1})
+    assert not s.can_write({0, 2})
+    assert s.can_read({0})
+
+
+def test_primary_out_of_range():
+    with pytest.raises(ConfigurationError):
+        PrimaryCopyStrategy(3, primary=3)
+
+
+# -- analytic availability ---------------------------------------------------------
+
+
+def test_rowaa_availability_dominates_rowa():
+    p = 0.9
+    rowaa = RowaaStrategy(4)
+    rowa = RowaStrategy(4)
+    assert rowaa.write_availability(p) > rowa.write_availability(p)
+    assert rowaa.read_availability(p) == rowa.read_availability(p)
+
+
+def test_rowa_write_availability_is_p_to_the_n():
+    s = RowaStrategy(3)
+    assert s.write_availability(0.9) == pytest.approx(0.9**3)
+
+
+def test_rowaa_availability_closed_form():
+    # 1 - (1-p)^n: at least one site up.
+    s = RowaaStrategy(4)
+    p = 0.8
+    assert s.write_availability(p) == pytest.approx(1 - (1 - p) ** 4)
+
+
+def test_primary_write_availability_is_p():
+    assert PrimaryCopyStrategy(5).write_availability(0.93) == pytest.approx(0.93)
+
+
+def test_quorum_availability_between_rowa_and_rowaa():
+    p = 0.9
+    quorum = QuorumStrategy(5).write_availability(p)
+    assert RowaStrategy(5).write_availability(p) < quorum
+    assert quorum < RowaaStrategy(5).write_availability(p)
+
+
+def test_availability_at_extremes():
+    for strategy in (RowaaStrategy(4), RowaStrategy(4), QuorumStrategy(4)):
+        assert strategy.write_availability(1.0) == pytest.approx(1.0)
+        assert strategy.write_availability(0.0) == pytest.approx(0.0)
+
+
+def test_bad_probability_rejected():
+    with pytest.raises(ConfigurationError):
+        RowaaStrategy(2).read_availability(1.5)
+
+
+def test_names():
+    assert RowaaStrategy(2).name == "rowaa"
+    assert QuorumStrategy(3).name == "quorum"

@@ -1,0 +1,89 @@
+"""CpuResource: serialization on one core, parallelism on many."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuResource
+from repro.sim.scheduler import EventScheduler
+
+
+def test_single_core_serializes_work():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    done = []
+    cpu.execute(10.0, lambda: done.append(sched.now))
+    cpu.execute(5.0, lambda: done.append(sched.now))
+    sched.run()
+    # Second job starts only when the first completes: 10 then 15.
+    assert done == [10.0, 15.0]
+
+
+def test_two_cores_run_in_parallel():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=2)
+    done = []
+    cpu.execute(10.0, lambda: done.append(sched.now))
+    cpu.execute(5.0, lambda: done.append(sched.now))
+    sched.run()
+    assert sorted(done) == [5.0, 10.0]
+
+
+def test_work_submitted_later_starts_at_now():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    done = []
+    sched.schedule(100.0, lambda: cpu.execute(1.0, lambda: done.append(sched.now)))
+    sched.run()
+    assert done == [101.0]
+
+
+def test_zero_duration_work_completes_immediately():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    done = []
+    cpu.execute(0.0, lambda: done.append(sched.now))
+    sched.run()
+    assert done == [0.0]
+
+
+def test_rejects_negative_duration():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    with pytest.raises(SimulationError):
+        cpu.execute(-1.0, lambda: None)
+
+
+def test_rejects_zero_cores():
+    with pytest.raises(SimulationError):
+        CpuResource(EventScheduler(), cores=0)
+
+
+def test_accounting():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    cpu.execute(3.0, lambda: None)
+    cpu.execute(4.0, lambda: None)
+    sched.run()
+    assert cpu.busy_ms == 7.0
+    assert cpu.jobs == 2
+    assert cpu.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_with_idle_time():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=1)
+    sched.schedule(90.0, lambda: cpu.execute(10.0, lambda: None))
+    sched.run()
+    assert cpu.utilization() == pytest.approx(0.1)
+
+
+def test_least_loaded_core_chosen():
+    sched = EventScheduler()
+    cpu = CpuResource(sched, cores=2)
+    done = []
+    cpu.execute(10.0, lambda: done.append(("long", sched.now)))
+    cpu.execute(1.0, lambda: done.append(("short1", sched.now)))
+    cpu.execute(1.0, lambda: done.append(("short2", sched.now)))
+    sched.run()
+    # The third job lands on the core freed at t=1, not behind the 10ms job.
+    assert ("short2", 2.0) in done

@@ -1,0 +1,118 @@
+"""EventScheduler: ordering, cancellation, run modes."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.scheduler import EventScheduler
+
+
+def test_fires_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(5.0, lambda: fired.append("b"))
+    sched.schedule(1.0, lambda: fired.append("a"))
+    sched.schedule(9.0, lambda: fired.append("c"))
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = EventScheduler()
+    fired = []
+    for name in "abcde":
+        sched.schedule(2.0, lambda n=name: fired.append(n))
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(4.0, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [4.0]
+
+
+def test_schedule_during_run():
+    sched = EventScheduler()
+    fired = []
+
+    def chain():
+        fired.append(sched.now)
+        if len(fired) < 3:
+            sched.schedule(1.0, chain)
+
+    sched.schedule(1.0, chain)
+    sched.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_rejects_negative_delay():
+    sched = EventScheduler()
+    with pytest.raises(SchedulerError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_rejects_past():
+    sched = EventScheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule_at(4.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sched = EventScheduler()
+    fired = []
+    event = sched.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_step_returns_false_when_empty():
+    assert EventScheduler().step() is False
+
+
+def test_run_counts_fired_events():
+    sched = EventScheduler()
+    for _ in range(4):
+        sched.schedule(1.0, lambda: None)
+    assert sched.run() == 4
+    assert sched.fired == 4
+
+
+def test_run_until_predicate():
+    sched = EventScheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sched.run_until(lambda: len(fired) >= 3)
+    assert len(fired) == 3
+    assert sched.pending == 7
+
+
+def test_runaway_guard():
+    sched = EventScheduler()
+
+    def forever():
+        sched.schedule(1.0, forever)
+
+    sched.schedule(1.0, forever)
+    with pytest.raises(SchedulerError):
+        sched.run(max_events=100)
+
+
+def test_not_reentrant():
+    sched = EventScheduler()
+    errors = []
+
+    def reenter():
+        try:
+            sched.run()
+        except SchedulerError as exc:
+            errors.append(exc)
+
+    sched.schedule(1.0, reenter)
+    sched.run()
+    assert len(errors) == 1

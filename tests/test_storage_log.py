@@ -1,0 +1,41 @@
+"""RedoLog specifics not covered by the database tests."""
+
+from repro.storage.log import RedoLog
+
+
+def test_lsns_are_dense_and_ordered():
+    log = RedoLog()
+    for i in range(5):
+        record = log.append(
+            txn_id=i, item_id=0, old_value=i, new_value=i + 1,
+            old_version=i, new_version=i + 1, time=float(i),
+        )
+        assert record.lsn == i + 1
+    assert [r.lsn for r in log.records] == [1, 2, 3, 4, 5]
+
+
+def test_filters():
+    log = RedoLog()
+    log.append(1, 0, 0, 10, 0, 1, 0.0)
+    log.append(1, 1, 0, 11, 0, 1, 1.0)
+    log.append(2, 0, 10, 20, 1, 2, 2.0)
+    assert len(log.for_txn(1)) == 2
+    assert len(log.for_item(0)) == 2
+    assert log.for_item(0)[-1].new_value == 20
+    assert len(log) == 3
+
+
+def test_records_capture_before_and_after_images():
+    log = RedoLog()
+    record = log.append(7, 3, old_value=5, new_value=9, old_version=2,
+                        new_version=3, time=4.5)
+    assert (record.old_value, record.new_value) == (5, 9)
+    assert (record.old_version, record.new_version) == (2, 3)
+    assert record.time == 4.5
+
+
+def test_empty_log_queries():
+    log = RedoLog()
+    assert log.for_txn(1) == []
+    assert log.for_item(1) == []
+    assert len(log) == 0

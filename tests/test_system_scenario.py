@@ -1,0 +1,109 @@
+"""Scenario scripting and submission policies."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.scenario import (
+    FailSite,
+    FixedSite,
+    HealNetwork,
+    PartitionNetwork,
+    RecoverSite,
+    RoundRobin,
+    Scenario,
+    UniformRandom,
+    Weighted,
+)
+from repro.workload.uniform import UniformWorkload
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(4)
+
+
+def make_scenario(**kw) -> Scenario:
+    defaults = dict(workload=UniformWorkload([0, 1], 2), txn_count=10)
+    defaults.update(kw)
+    return Scenario(**defaults)
+
+
+def test_add_action_accumulates():
+    scenario = make_scenario()
+    scenario.add_action(5, FailSite(0)).add_action(5, RecoverSite(1))
+    assert scenario.actions[5] == [FailSite(0), RecoverSite(1)]
+
+
+def test_add_action_rejects_bad_seq():
+    with pytest.raises(ConfigurationError):
+        make_scenario().add_action(0, FailSite(0))
+
+
+def test_validate_rejects_bad_counts():
+    with pytest.raises(ConfigurationError):
+        make_scenario(txn_count=-1).validate()
+    with pytest.raises(ConfigurationError):
+        make_scenario(txn_count=10, max_txns=5).validate()
+
+
+def test_actions_are_value_objects():
+    assert FailSite(1) == FailSite(1)
+    assert PartitionNetwork(groups=((0,), (1,))) == PartitionNetwork(
+        groups=((0,), (1,))
+    )
+    assert HealNetwork() == HealNetwork()
+
+
+# -- policies ----------------------------------------------------------------------
+
+
+def test_fixed_site(rng):
+    policy = FixedSite(2)
+    assert policy.choose(1, [0, 1, 2], rng) == 2
+    with pytest.raises(ConfigurationError):
+        policy.choose(2, [0, 1], rng)
+
+
+def test_round_robin_cycles(rng):
+    policy = RoundRobin()
+    picks = [policy.choose(i, [0, 1, 2], rng) for i in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_adapts_to_membership(rng):
+    policy = RoundRobin()
+    policy.choose(1, [0, 1], rng)
+    assert policy.choose(2, [5], rng) == 5
+
+
+def test_uniform_random_covers_all(rng):
+    policy = UniformRandom()
+    picks = {policy.choose(i, [0, 1, 2], rng) for i in range(100)}
+    assert picks == {0, 1, 2}
+
+
+def test_weighted_respects_weights(rng):
+    policy = Weighted({0: 0.05, 1: 0.95})
+    picks = [policy.choose(i, [0, 1], rng) for i in range(1000)]
+    share0 = picks.count(0) / len(picks)
+    assert 0.01 < share0 < 0.12
+
+
+def test_weighted_renormalizes_over_up_sites(rng):
+    policy = Weighted({0: 0.05, 1: 0.95})
+    # Site 1 down: all weight flows to site 0.
+    assert all(policy.choose(i, [0], rng) == 0 for i in range(20))
+
+
+def test_weighted_falls_back_when_no_weighted_site_up(rng):
+    policy = Weighted({0: 1.0})
+    assert policy.choose(1, [1, 2], rng) in (1, 2)
+
+
+def test_weighted_rejects_bad_weights():
+    with pytest.raises(ConfigurationError):
+        Weighted({})
+    with pytest.raises(ConfigurationError):
+        Weighted({0: -1.0})

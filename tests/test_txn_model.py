@@ -1,0 +1,153 @@
+"""Operations, transaction lifecycle, and 2PC bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError, TransactionError, WorkloadError
+from repro.txn.operations import OpKind, Operation, random_transaction_ops
+from repro.txn.transaction import AbortReason, Transaction, TxnStatus
+from repro.txn.twophase import CommitPhase, CoordinatorState
+
+
+def txn(ops=None, txn_id=1):
+    if ops is None:
+        ops = [Operation(OpKind.READ, 0), Operation(OpKind.WRITE, 1)]
+    return Transaction(txn_id=txn_id, ops=ops)
+
+
+# -- operations ----------------------------------------------------------------
+
+
+def test_operation_kind_predicates():
+    assert Operation(OpKind.READ, 0).is_read
+    assert Operation(OpKind.WRITE, 0).is_write
+
+
+def test_random_ops_respect_bounds():
+    rng = random.Random(5)
+    for _ in range(200):
+        ops = random_transaction_ops(rng, list(range(10)), max_ops=5)
+        assert 1 <= len(ops) <= 5
+        assert all(0 <= op.item_id < 10 for op in ops)
+
+
+def test_random_ops_equal_read_write_probability():
+    rng = random.Random(5)
+    kinds = []
+    for _ in range(500):
+        kinds += [op.kind for op in random_transaction_ops(rng, [0], max_ops=3)]
+    writes = sum(1 for k in kinds if k is OpKind.WRITE)
+    assert 0.4 < writes / len(kinds) < 0.6
+
+
+def test_random_ops_write_probability_extremes():
+    rng = random.Random(5)
+    all_reads = random_transaction_ops(rng, [0, 1], 10, write_probability=0.0)
+    assert all(op.is_read for op in all_reads)
+    all_writes = random_transaction_ops(rng, [0, 1], 10, write_probability=1.0)
+    assert all(op.is_write for op in all_writes)
+
+
+def test_random_ops_validation():
+    rng = random.Random(5)
+    with pytest.raises(WorkloadError):
+        random_transaction_ops(rng, [], 5)
+    with pytest.raises(WorkloadError):
+        random_transaction_ops(rng, [0], 0)
+    with pytest.raises(WorkloadError):
+        random_transaction_ops(rng, [0], 5, write_probability=1.5)
+
+
+# -- transaction ---------------------------------------------------------------------
+
+
+def test_distinct_items_first_touch_order():
+    t = txn(
+        [
+            Operation(OpKind.WRITE, 3),
+            Operation(OpKind.READ, 1),
+            Operation(OpKind.WRITE, 3),
+            Operation(OpKind.WRITE, 0),
+            Operation(OpKind.READ, 1),
+        ]
+    )
+    assert t.write_items == [3, 0]
+    assert t.read_items == [1]
+    assert t.size == 5
+
+
+def test_commit_transition():
+    t = txn()
+    t.submitted_at = 1.0
+    t.mark_committed(5.0)
+    assert t.status is TxnStatus.COMMITTED
+    assert t.is_done
+    assert t.elapsed == 4.0
+
+
+def test_abort_transition():
+    t = txn()
+    t.mark_aborted(AbortReason.COPY_UNAVAILABLE, 3.0)
+    assert t.status is TxnStatus.ABORTED
+    assert t.abort_reason is AbortReason.COPY_UNAVAILABLE
+
+
+def test_double_finish_rejected():
+    t = txn()
+    t.mark_committed(1.0)
+    with pytest.raises(TransactionError):
+        t.mark_aborted(AbortReason.NONE, 2.0)
+    with pytest.raises(TransactionError):
+        t.mark_committed(2.0)
+
+
+def test_elapsed_unfinished_is_negative():
+    assert txn().elapsed == -1.0
+
+
+# -- 2PC coordinator state ----------------------------------------------------------
+
+
+def test_vote_then_commit_flow():
+    state = CoordinatorState(txn=txn())
+    state.begin_voting([1, 2])
+    assert state.phase is CommitPhase.VOTING
+    assert not state.record_vote(1)
+    assert state.record_vote(2)
+    state.begin_commit()
+    assert state.phase is CommitPhase.COMMITTING
+    assert not state.record_commit_ack(2)
+    assert state.record_commit_ack(1)
+    state.finish()
+    assert state.phase is CommitPhase.DONE
+
+
+def test_commit_before_all_votes_rejected():
+    state = CoordinatorState(txn=txn())
+    state.begin_voting([1, 2])
+    state.record_vote(1)
+    with pytest.raises(ProtocolError):
+        state.begin_commit()
+
+
+def test_vote_out_of_phase_rejected():
+    state = CoordinatorState(txn=txn())
+    with pytest.raises(ProtocolError):
+        state.record_vote(1)
+
+
+def test_drop_participant_unblocks():
+    state = CoordinatorState(txn=txn())
+    state.begin_voting([1, 2])
+    state.record_vote(1)
+    state.drop_participant(2)
+    assert not state.pending_votes
+    assert state.participants == [1]
+
+
+def test_empty_participant_set():
+    state = CoordinatorState(txn=txn())
+    state.begin_voting([])
+    state.begin_commit()
+    assert not state.pending_commit_acks

@@ -1,0 +1,54 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.ascii_chart import AsciiChart, render_series
+
+
+def test_render_contains_series_glyphs():
+    chart = AsciiChart(width=40, height=10, title="T")
+    chart.add_series("a", [(0, 0), (10, 5), (20, 10)])
+    chart.add_series("b", [(0, 10), (20, 0)])
+    out = chart.render()
+    assert "T" in out
+    assert "o a" in out and "* b" in out
+    assert "o" in out and "*" in out
+
+
+def test_render_empty():
+    assert "(no data)" in AsciiChart(title="empty").render()
+
+
+def test_axis_labels_present():
+    chart = AsciiChart(width=30, height=8, x_label="Transactions")
+    chart.add_series("s", [(1, 0), (100, 50)])
+    out = chart.render()
+    assert "Transactions" in out
+    assert "1" in out and "100" in out
+    assert "50" in out  # y max label
+
+
+def test_points_land_on_expected_rows():
+    chart = AsciiChart(width=11, height=11)
+    chart.add_series("s", [(0, 0), (10, 10)])
+    lines = chart.render().splitlines()
+    grid = [line.split("|", 1)[1] for line in lines if "|" in line]
+    assert grid[0][10] == "o"     # top-right = max
+    assert grid[10][0] == "o"     # bottom-left = min
+
+
+def test_too_small_rejected():
+    with pytest.raises(ReproError):
+        AsciiChart(width=5, height=2)
+
+
+def test_render_series_helper():
+    out = render_series({"x": [(0.0, 1.0), (1.0, 2.0)]}, title="H")
+    assert "H" in out
+    assert "x" in out
+
+
+def test_constant_series_does_not_crash():
+    out = render_series({"flat": [(0.0, 0.0), (5.0, 0.0)]})
+    assert "|" in out

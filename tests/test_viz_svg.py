@@ -1,0 +1,103 @@
+"""SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.svg_chart import SvgChart, figure_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def test_render_is_valid_xml():
+    chart = SvgChart(title="Figure 1")
+    chart.add_series("site 0", [(0, 0), (50, 40), (100, 5)])
+    root = parse(chart.render())
+    assert root.tag == f"{SVG_NS}svg"
+
+
+def test_series_become_polylines():
+    chart = SvgChart()
+    chart.add_series("a", [(0, 0), (1, 1)])
+    chart.add_series("b", [(0, 1), (1, 0)])
+    root = parse(chart.render())
+    # Two data polylines plus two legend lines.
+    polylines = root.findall(f"{SVG_NS}polyline")
+    assert len(polylines) == 2
+    legend_texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+    assert "a" in legend_texts and "b" in legend_texts
+
+
+def test_title_and_axis_labels_present():
+    chart = SvgChart(title="T<1>", x_label="X", y_label="Y")
+    chart.add_series("s", [(0, 0), (1, 1)])
+    svg = chart.render()
+    assert "T&lt;1&gt;" in svg  # escaped
+    assert ">X<" in svg and ">Y<" in svg
+
+
+def test_points_projected_inside_plot_area():
+    chart = SvgChart(width=640, height=400)
+    chart.add_series("s", [(0, 0), (100, 50)])
+    root = parse(chart.render())
+    polyline = root.find(f"{SVG_NS}polyline")
+    coords = [
+        tuple(float(v) for v in pair.split(","))
+        for pair in polyline.attrib["points"].split()
+    ]
+    for x, y in coords:
+        assert 0 <= x <= 640
+        assert 0 <= y <= 400
+
+
+def test_deterministic_output():
+    def build():
+        chart = SvgChart(title="same")
+        chart.add_series("s", [(0, 0), (5, 3), (10, 1)])
+        return chart.render()
+
+    assert build() == build()
+
+
+def test_save_and_helper(tmp_path):
+    path = tmp_path / "fig.svg"
+    svg = figure_svg({"site 0": [(0.0, 0.0), (1.0, 2.0)]}, title="F", path=path)
+    assert path.read_text() == svg
+    parse(svg)
+
+
+def test_empty_chart_still_valid():
+    parse(SvgChart().render())
+
+
+def test_too_small_rejected():
+    with pytest.raises(ReproError):
+        SvgChart(width=10, height=10)
+
+
+def test_dash_patterns_cycle():
+    chart = SvgChart()
+    for i in range(7):
+        chart.add_series(f"s{i}", [(0, 0), (1, 1)])
+    svg = chart.render()
+    assert 'stroke-dasharray="6,3"' in svg
+
+
+def test_figure1_end_to_end(tmp_path):
+    """Render the real Figure 1 data to SVG."""
+    from repro.experiments import run_figure1
+
+    result = run_figure1(seed=7)
+    series = {
+        f"site {s}": [(float(x), float(y)) for x, y in pts]
+        for s, pts in result.series.items()
+    }
+    path = tmp_path / "figure1.svg"
+    figure_svg(series, title="Figure 1", path=path)
+    root = parse(path.read_text())
+    assert len(root.findall(f"{SVG_NS}polyline")) == 2

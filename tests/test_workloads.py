@@ -1,0 +1,158 @@
+"""Workload generators."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.txn.operations import OpKind
+from repro.workload.et1 import Et1Workload
+from repro.workload.hotset import ZipfHotSetWorkload
+from repro.workload.readwrite import ReadWriteWorkload
+from repro.workload.uniform import UniformWorkload
+from repro.workload.wisconsin import WisconsinWorkload
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(77)
+
+
+ITEMS = list(range(50))
+
+
+def test_uniform_respects_bounds(rng):
+    wl = UniformWorkload(ITEMS, max_txn_size=5)
+    for seq in range(100):
+        ops = wl.generate(seq, rng)
+        assert 1 <= len(ops) <= 5
+        assert all(op.item_id in ITEMS for op in ops)
+
+
+def test_uniform_covers_item_space(rng):
+    wl = UniformWorkload(ITEMS, max_txn_size=10)
+    touched = set()
+    for seq in range(300):
+        touched.update(op.item_id for op in wl.generate(seq, rng))
+    assert len(touched) == len(ITEMS)
+
+
+def test_uniform_validation():
+    with pytest.raises(WorkloadError):
+        UniformWorkload([], 5)
+    with pytest.raises(WorkloadError):
+        UniformWorkload(ITEMS, 0)
+
+
+def test_readwrite_ratio(rng):
+    wl = ReadWriteWorkload(ITEMS, max_txn_size=8, write_probability=0.2)
+    ops = [op for seq in range(500) for op in wl.generate(seq, rng)]
+    writes = sum(1 for op in ops if op.is_write)
+    assert 0.15 < writes / len(ops) < 0.25
+
+
+def test_readwrite_validation():
+    with pytest.raises(WorkloadError):
+        ReadWriteWorkload(ITEMS, 5, write_probability=2.0)
+
+
+def test_zipf_skews_to_low_ranks(rng):
+    wl = ZipfHotSetWorkload(ITEMS, max_txn_size=4, skew=1.5)
+    counts = {}
+    for seq in range(2000):
+        for op in wl.generate(seq, rng):
+            counts[op.item_id] = counts.get(op.item_id, 0) + 1
+    # The first-ranked item must dominate the median item.
+    median_item = ITEMS[len(ITEMS) // 2]
+    assert counts.get(ITEMS[0], 0) > 5 * counts.get(median_item, 1)
+
+
+def test_zipf_zero_skew_roughly_uniform(rng):
+    wl = ZipfHotSetWorkload(ITEMS, max_txn_size=4, skew=0.0)
+    counts = dict.fromkeys(ITEMS, 0)
+    for seq in range(3000):
+        for op in wl.generate(seq, rng):
+            counts[op.item_id] += 1
+    values = sorted(counts.values())
+    assert values[0] > 0
+    assert values[-1] < 3 * values[0]
+
+
+def test_zipf_cold_accesses(rng):
+    cold = list(range(100, 110))
+    wl = ZipfHotSetWorkload(
+        ITEMS, max_txn_size=4, cold_items=cold, cold_probability=0.5
+    )
+    touched = set()
+    for seq in range(300):
+        touched.update(op.item_id for op in wl.generate(seq, rng))
+    assert touched & set(cold)
+
+
+def test_zipf_validation():
+    with pytest.raises(WorkloadError):
+        ZipfHotSetWorkload([], 5)
+    with pytest.raises(WorkloadError):
+        ZipfHotSetWorkload(ITEMS, 5, cold_probability=0.5)  # no cold items
+
+
+def test_et1_shape(rng):
+    wl = Et1Workload(ITEMS)
+    ops = wl.generate(1, rng)
+    assert len(ops) == 7
+    kinds = [op.kind for op in ops]
+    assert kinds == [
+        OpKind.READ, OpKind.WRITE,   # account
+        OpKind.READ, OpKind.WRITE,   # teller
+        OpKind.READ, OpKind.WRITE,   # branch
+        OpKind.WRITE,                # history
+    ]
+    # Each touched item belongs to its region.
+    assert ops[0].item_id in wl.accounts
+    assert ops[2].item_id in wl.tellers
+    assert ops[4].item_id in wl.branches
+    assert ops[6].item_id in wl.history
+
+
+def test_et1_regions_are_disjoint():
+    wl = Et1Workload(ITEMS)
+    regions = [set(wl.accounts), set(wl.tellers), set(wl.branches), set(wl.history)]
+    union = set().union(*regions)
+    assert len(union) == sum(len(r) for r in regions)
+    assert union == set(ITEMS)
+
+
+def test_et1_too_small_rejected():
+    with pytest.raises(WorkloadError):
+        Et1Workload(list(range(4)))
+
+
+def test_wisconsin_mixes_scans_and_updates(rng):
+    wl = WisconsinWorkload(ITEMS, scan_length=5, update_count=2, scan_fraction=0.5)
+    saw_scan = saw_update = False
+    for seq in range(100):
+        ops = wl.generate(seq, rng)
+        if all(op.is_read for op in ops):
+            saw_scan = True
+            items = [op.item_id for op in ops]
+            assert items == list(range(items[0], items[0] + 5))  # contiguous
+        else:
+            saw_update = True
+            assert any(op.is_write for op in ops)
+    assert saw_scan and saw_update
+
+
+def test_wisconsin_validation():
+    with pytest.raises(WorkloadError):
+        WisconsinWorkload(ITEMS, scan_length=0)
+    with pytest.raises(WorkloadError):
+        WisconsinWorkload(ITEMS, scan_length=51)
+    with pytest.raises(WorkloadError):
+        WisconsinWorkload(ITEMS, update_count=0)
+
+
+def test_describe_strings():
+    assert "uniform" in UniformWorkload(ITEMS, 5).describe()
+    assert "et1" in Et1Workload(ITEMS).describe()
+    assert "wisconsin" in WisconsinWorkload(ITEMS).describe()
+    assert "zipf" in ZipfHotSetWorkload(ITEMS, 5).describe()
