@@ -1,0 +1,55 @@
+"""Chaos auditor overhead: invariant checking must stay cheap.
+
+The online auditor observes every delivered message plus every commit
+application, so it sits on the simulator's hottest paths.  This bench runs
+the same seeded chaos workload with the auditor attached and detached and
+checks the attached run stays within a generous multiple of the detached
+one — the auditor is meant to be an always-on tool, not a debug-only one.
+"""
+
+import time
+
+from repro.chaos import run_chaos_seed
+
+SEED = 42
+TXNS = 60
+
+
+def audited():
+    return run_chaos_seed(SEED, txns=TXNS, audit=True)
+
+
+def unaudited():
+    return run_chaos_seed(SEED, txns=TXNS, audit=False)
+
+
+def test_bench_chaos_audited(benchmark):
+    result = benchmark.pedantic(audited, rounds=3, iterations=1)
+    assert result.violations == []
+    assert result.checks > 100          # the auditor actually ran
+
+
+def test_bench_chaos_auditor_overhead():
+    # Warm both paths once so import/JIT-cache costs don't skew either side.
+    audited()
+    unaudited()
+    rounds = 3
+    on = off = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        with_audit = audited()
+        on += time.perf_counter() - start
+        start = time.perf_counter()
+        without_audit = unaudited()
+        off += time.perf_counter() - start
+    # Same seed, same faults, same schedule: auditing must not perturb the
+    # simulation itself.
+    assert with_audit.commits == without_audit.commits
+    assert with_audit.aborts == without_audit.aborts
+    assert with_audit.fault_stats.total == without_audit.fault_stats.total
+    assert without_audit.checks == 0
+    # Generous bound: per-message dict lookups and per-commit set algebra
+    # should cost well under 3x the bare simulation.
+    assert on < 3.0 * off + 0.05 * rounds, (
+        f"auditor overhead too high: {on:.3f}s audited vs {off:.3f}s bare"
+    )

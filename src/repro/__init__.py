@@ -47,6 +47,7 @@ from repro.core import (
     FailLockTable,
     RecoveryPolicy,
 )
+from repro.chaos import FaultPlan, InvariantAuditor, run_seed_sweep
 from repro.metrics import MetricsCollector, availability_of
 from repro.txn import Transaction, TxnStatus, AbortReason
 
@@ -72,6 +73,9 @@ __all__ = [
     "NominalSessionVector",
     "FailLockTable",
     "RecoveryPolicy",
+    "FaultPlan",
+    "InvariantAuditor",
+    "run_seed_sweep",
     "MetricsCollector",
     "availability_of",
     "Transaction",

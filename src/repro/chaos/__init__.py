@@ -1,0 +1,41 @@
+"""repro.chaos — randomized fault injection with online invariant auditing.
+
+The paper validates its protocol with hand-scripted failure timelines
+(§2–§4); this package complements them with *randomized* testing: a fault
+interposition layer on the network (drop / duplicate / delay / reorder,
+plus seeded crash–recover–partition–heal schedules) and an online auditor
+that checks the protocol's safety invariants while the chaos runs.  A
+seed sweep (``repro chaos --seeds N``) turns the pair into a repeatable
+search for protocol regressions.
+"""
+
+from repro.chaos.faults import DROPPABLE, DUPLICABLE, FaultPlan, FaultStats
+from repro.chaos.interpose import FaultInjector
+from repro.chaos.invariants import InvariantAuditor
+from repro.chaos.report import format_sweep_report
+from repro.chaos.runner import (
+    ChaosRunResult,
+    ChaosSweepReport,
+    NeuteredFailLockTable,
+    neuter_faillocks,
+    run_chaos_seed,
+    run_seed_sweep,
+)
+from repro.chaos.schedule import build_chaos_scenario
+
+__all__ = [
+    "DROPPABLE",
+    "DUPLICABLE",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "InvariantAuditor",
+    "format_sweep_report",
+    "ChaosRunResult",
+    "ChaosSweepReport",
+    "NeuteredFailLockTable",
+    "neuter_faillocks",
+    "run_chaos_seed",
+    "run_seed_sweep",
+    "build_chaos_scenario",
+]

@@ -1,0 +1,205 @@
+"""Fault plans: what the chaos layer is allowed to do, and how often.
+
+A :class:`FaultPlan` bundles the message-fault rates (drop, duplicate,
+delay-jitter, bounded reorder) with the site-fault schedule rates (crash,
+recover, partition, heal).  The plan is pure configuration — the seeded
+randomness lives in :mod:`repro.chaos.interpose` and
+:mod:`repro.chaos.schedule` — so the same plan under the same seed always
+produces the same run.
+
+Faults are only injected where the protocol has a documented answer for
+the resulting silence:
+
+* a *drop* is indistinguishable from a partition for that one message —
+  the sender gets the failure notice and runs the Appendix-A "site is now
+  down" branch — so only messages whose loss leaves purely conservative
+  state behind are droppable (see :data:`DROPPABLE`); dropping 2PC
+  traffic would plant false failure suspicions of live sites, which the
+  fail-stop protocol never has to face;
+* a *duplicate* is only injected for messages the receiving side
+  deduplicates or applies idempotently;
+* *delay* preserves the per-channel FIFO guarantee and is safe anywhere;
+* *reorder* deliberately breaks FIFO and therefore the protocol's
+  transport assumption — it is off by default and exists to demonstrate
+  that the auditor catches transport-level regressions.
+
+The managing site's control plane (``MGR_*`` traffic) is never touched:
+it is the experimenter's harness, not the network under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.net.message import MessageType
+
+# Message types whose loss stays within the protocol's environment
+# assumptions.  The protocol's safety rests on an implicit invariant: all
+# operational sites hold IDENTICAL fail-lock knowledge (every commit's
+# maintenance and every announcement reaches every operational site), and
+# the type-1 recovery install trusts that invariant by REPLACING the
+# recovering site's table with any operational responder's.  Losing a
+# message breaks the invariant in one of two ways:
+#
+# * A drop surfaces to the sender exactly like a delivery to a down site,
+#   so the sender runs its Appendix-A "destination failed" branch — a
+#   FALSE failure suspicion of a live site.  Coordinators with false-down
+#   vectors shrink their write-all-available recipient sets; the excluded
+#   site's table silently goes stale; the next recovery that picks it as
+#   the type-1 responder installs the stale table and destroys the
+#   surviving sites' fail-lock knowledge.  This rules out VOTE_REQ,
+#   COMMIT, COPY_REQ, and RECOVERY_ANNOUNCE drops — the paper's model is
+#   fail-stop, and these losses simulate failures that did not happen.
+#
+# * A lost FAILURE_ANNOUNCE with corrective ``stale_items`` leaves the
+#   receiver UNDER-locked: a stale copy it now believes current.
+#
+# That leaves exactly the losses after which every table is still correct
+# or strictly over-locked (conservative):
+#
+# * ABORT — the participant keeps staged updates that no commit
+#   indication will ever touch; they are discarded state, never applied;
+# * CLEAR_FAILLOCKS — the receiver keeps a fail-lock for a copy that was
+#   already refreshed; over-locking costs a redundant copier, not safety.
+#
+# Acks, responses, and manager traffic are never faulted: the serial
+# drive loop has no timeouts and would simply stall.
+DROPPABLE: frozenset[MessageType] = frozenset(
+    {
+        MessageType.ABORT,
+        MessageType.CLEAR_FAILLOCKS,
+    }
+)
+
+# Message types whose double delivery the receiver tolerates: staged-write
+# deduplication (VOTE_REQ), pop-then-ack (COMMIT), and idempotent state
+# application (ABORT, COPY_REQ, CLEAR_FAILLOCKS, FAILURE_ANNOUNCE).
+DUPLICABLE: frozenset[MessageType] = frozenset(
+    {
+        MessageType.VOTE_REQ,
+        MessageType.COMMIT,
+        MessageType.ABORT,
+        MessageType.COPY_REQ,
+        MessageType.CLEAR_FAILLOCKS,
+        MessageType.FAILURE_ANNOUNCE,
+    }
+)
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """Rates and bounds for every fault class the chaos layer injects.
+
+    All rates are per-opportunity probabilities: message faults roll once
+    per transmitted (non-exempt) message, schedule faults roll once per
+    transaction slot.
+    """
+
+    # -- message faults (the interposition layer) --------------------------
+    drop_rate: float = 0.02
+    duplicate_rate: float = 0.02
+    duplicate_gap_ms: float = 5.0
+    delay_rate: float = 0.2
+    delay_max_ms: float = 25.0
+    reorder_rate: float = 0.0          # FIFO-breaking; off by default
+    reorder_window_ms: float = 50.0
+
+    # -- site-fault schedule (crash / recover / partition / heal) ----------
+    crash_rate: float = 0.06
+    recover_rate: float = 0.25
+    # Partitions default OFF: ROWAA assumes operational sites stay mutually
+    # connected (the paper's environment has no partitions), and an isolated
+    # coordinator really does diverge — "write all available" per its own
+    # vector commits updates the majority never sees.  Turning this on is a
+    # supported way to *watch the auditor catch that divergence*, not a
+    # configuration the protocol claims to survive.
+    partition_rate: float = 0.0
+    heal_rate: float = 0.3
+    min_up_sites: int = 1
+    # Guarantee at least one crash per schedule (so every seed exercises
+    # the fail-lock machinery) and hold the crashed site down for at least
+    # this many transactions before it becomes eligible for recovery.
+    force_crash: bool = True
+    forced_hold_txns: int = 8
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any bad value."""
+        for name in (
+            "drop_rate",
+            "duplicate_rate",
+            "delay_rate",
+            "reorder_rate",
+            "crash_rate",
+            "recover_rate",
+            "partition_rate",
+            "heal_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {value}")
+        for name in ("duplicate_gap_ms", "delay_max_ms", "reorder_window_ms"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative: {value}")
+        if self.min_up_sites < 1:
+            raise ConfigurationError(
+                f"min_up_sites must be >= 1: {self.min_up_sites}"
+            )
+        if self.forced_hold_txns < 0:
+            raise ConfigurationError(
+                f"forced_hold_txns must be >= 0: {self.forced_hold_txns}"
+            )
+
+    def describe(self) -> str:
+        """A deterministic one-line summary (report header)."""
+        return (
+            f"drop={self.drop_rate:.0%} dup={self.duplicate_rate:.0%} "
+            f"delay={self.delay_rate:.0%}<={self.delay_max_ms:.0f}ms "
+            f"reorder={self.reorder_rate:.0%} | "
+            f"crash={self.crash_rate:.0%} recover={self.recover_rate:.0%} "
+            f"partition={self.partition_rate:.0%} heal={self.heal_rate:.0%}"
+        )
+
+    @classmethod
+    def quiet(cls) -> "FaultPlan":
+        """No message faults; only the crash/recover/partition schedule."""
+        return cls(drop_rate=0.0, duplicate_rate=0.0, delay_rate=0.0)
+
+    @classmethod
+    def aggressive(cls) -> "FaultPlan":
+        """Heavier faults for stress sweeps (still FIFO-preserving, and
+        still within the protocol's environment assumptions)."""
+        return cls(
+            drop_rate=0.06,
+            duplicate_rate=0.06,
+            delay_rate=0.5,
+            delay_max_ms=60.0,
+            crash_rate=0.12,
+        )
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Counts of faults actually injected during one run."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def note(self, kind: str, mtype: MessageType) -> None:
+        """Record one injected fault of ``kind`` on a ``mtype`` message."""
+        setattr(self, kind, getattr(self, kind) + 1)
+        key = f"{kind}:{mtype.value}"
+        self.by_type[key] = self.by_type.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """All injected message faults."""
+        return self.dropped + self.duplicated + self.delayed + self.reordered
+
+    def describe(self) -> str:
+        """Deterministic ``drop/dup/delay/reorder`` summary cell."""
+        return f"{self.dropped}/{self.duplicated}/{self.delayed}/{self.reordered}"

@@ -1,0 +1,60 @@
+"""Deterministic text reports for chaos sweeps.
+
+The formatter is intentionally free of wall-clock times, memory addresses,
+and dict-order dependence: the same sweep formatted twice yields
+byte-identical text, which is what the determinism acceptance check (and
+diff-based regression workflows) rely on.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.runner import ChaosRunResult, ChaosSweepReport
+
+_HEADER = (
+    f"{'seed':>6} {'txns':>5} {'commits':>8} {'aborts':>7} "
+    f"{'sched':>6} {'faults':>13} {'checks':>7} {'violations':>10}"
+)
+
+
+def format_run_row(result: ChaosRunResult) -> str:
+    """One fixed-width row of the sweep table."""
+    return (
+        f"{result.seed:>6} {result.txns:>5} {result.commits:>8} "
+        f"{result.aborts:>7} {result.schedule_actions:>6} "
+        f"{result.fault_stats.describe():>13} {result.checks:>7} "
+        f"{len(result.violations):>10}"
+    )
+
+
+def format_sweep_report(report: ChaosSweepReport) -> str:
+    """The full sweep report as deterministic text."""
+    lines = [
+        "chaos sweep report",
+        f"plan: {report.plan.describe()}",
+        f"mutation: {'faillock setting DISABLED' if report.mutated else 'off'}",
+        f"seeds: {len(report.results)}",
+        "",
+        _HEADER,
+        "-" * len(_HEADER),
+    ]
+    for result in report.results:
+        lines.append(format_run_row(result))
+    lines.append("-" * len(_HEADER))
+    lines.append(
+        f"total: {report.total_checks} checks, "
+        f"{report.total_violations} violations "
+        f"(faults column is drop/dup/delay/reorder)"
+    )
+    dirty = report.dirty_seeds
+    if dirty:
+        lines.append("")
+        lines.append(f"violations by seed ({len(dirty)} dirty):")
+        for result in report.results:
+            if result.clean:
+                continue
+            lines.append(f"  seed {result.seed}:")
+            for record in result.violations:
+                lines.append(f"    {record.format()}")
+    else:
+        lines.append("no invariant violations.")
+    return "\n".join(lines) + "\n"

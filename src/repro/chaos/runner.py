@@ -1,0 +1,206 @@
+"""Chaos run orchestration: one seed, or a sweep of them.
+
+:func:`run_chaos_seed` wires a standard cluster with the fault
+interposition layer and the invariant auditor, generates a randomized
+fail/recover schedule from the same root seed, runs it to quiescence, and
+returns a :class:`ChaosRunResult`.  :func:`run_seed_sweep` repeats that
+over a seed list and aggregates a :class:`ChaosSweepReport`.
+
+Mutation mode (``mutate=True``) deliberately breaks the protocol —
+fail-lock *setting* is disabled while clearing still works, so commits
+past a down site silently stop marking its copies stale — to prove the
+auditor detects real bugs rather than vacuously passing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.chaos.faults import FaultPlan, FaultStats
+from repro.chaos.interpose import FaultInjector
+from repro.chaos.invariants import InvariantAuditor
+from repro.chaos.schedule import build_chaos_scenario
+from repro.core.faillocks import FailLockTable
+from repro.core.sessions import NominalSessionVector, SiteState
+from repro.metrics.records import ViolationRecord
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+
+
+class NeuteredFailLockTable(FailLockTable):
+    """A fail-lock table that never *sets* a lock (mutation mode).
+
+    Clearing still works, so the bug is one-sided: sites that miss updates
+    are silently treated as current — exactly the corruption the paper's
+    protocol exists to prevent, and exactly what the ``faillock-coverage``
+    and ``convergence`` invariants must catch.
+
+    Installed by swapping ``__class__`` on live tables so every alias the
+    site's roles hold (recovery manager, planner) sees the broken behavior.
+    """
+
+    def set_lock(self, item_id: int, site_id: int) -> None:
+        self._mask(item_id)  # keep validation, skip the write
+
+    def update_on_commit(
+        self, written_items: Iterable[int], vector: NominalSessionVector
+    ) -> int:
+        clear_mask = 0
+        operations = 0
+        for site in self.site_ids:
+            operations += 1
+            if vector.state_of(site) is SiteState.UP:
+                clear_mask |= self._bit_of[site]
+        count = 0
+        for item in written_items:
+            self._masks[item] = self._mask(item) & ~clear_mask
+            count += operations
+        return count
+
+    def update_with_recipients(
+        self, recipients_of: dict[int, Iterable[int]]
+    ) -> int:
+        count = 0
+        for item, recipients in recipients_of.items():
+            recipient_mask = 0
+            for site in recipients:
+                recipient_mask |= self._bit(site)
+            self._masks[item] = self._mask(item) & ~recipient_mask
+            count += len(self.site_ids)
+        return count
+
+
+def neuter_faillocks(cluster: Cluster) -> None:
+    """Install the mutation at every site of a built cluster."""
+    for site in cluster.sites:
+        site.faillocks.__class__ = NeuteredFailLockTable
+
+
+@dataclass(slots=True)
+class ChaosRunResult:
+    """Everything one chaos seed produced."""
+
+    seed: int
+    txns: int
+    commits: int
+    aborts: int
+    sim_time_ms: float
+    fault_stats: FaultStats
+    schedule_actions: int
+    checks: int
+    violations: list[ViolationRecord] = field(default_factory=list)
+    mutated: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True if no invariant violation was flagged."""
+        return not self.violations
+
+
+@dataclass(slots=True)
+class ChaosSweepReport:
+    """Aggregate of a multi-seed chaos sweep."""
+
+    plan: FaultPlan
+    results: list[ChaosRunResult] = field(default_factory=list)
+    mutated: bool = False
+
+    @property
+    def seeds(self) -> list[int]:
+        return [r.seed for r in self.results]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(r.checks for r in self.results)
+
+    @property
+    def dirty_seeds(self) -> list[int]:
+        """Seeds that flagged at least one violation."""
+        return [r.seed for r in self.results if not r.clean]
+
+
+def run_chaos_seed(
+    seed: int,
+    *,
+    sites: int = 4,
+    db_size: int = 32,
+    txns: int = 60,
+    plan: Optional[FaultPlan] = None,
+    mutate: bool = False,
+    audit: bool = True,
+) -> ChaosRunResult:
+    """Run one randomized chaos scenario under ``seed``.
+
+    The same seed drives the workload, the message faults, and the site
+    fault schedule (via independent named streams), so a (seed, plan,
+    shape) triple replays byte-identically.
+    """
+    if plan is None:
+        plan = FaultPlan()
+    plan.validate()
+    config = SystemConfig(
+        db_size=db_size,
+        num_sites=sites,
+        seed=seed,
+        wire_latency_ms=2.0,
+    )
+    cluster = Cluster(config)
+    if mutate:
+        neuter_faillocks(cluster)
+    injector = FaultInjector(plan, cluster.rng.stream("chaos.faults"))
+    cluster.network.interposer = injector
+    auditor: Optional[InvariantAuditor] = None
+    if audit:
+        auditor = InvariantAuditor(cluster)
+        cluster.install_probe(auditor)
+    scenario = build_chaos_scenario(
+        config, plan, cluster.rng.stream("chaos.schedule"), txn_count=txns
+    )
+    schedule_actions = sum(len(actions) for actions in scenario.actions.values())
+    cluster.run(scenario)
+    if auditor is not None:
+        auditor.check_quiescence()
+    return ChaosRunResult(
+        seed=seed,
+        txns=txns,
+        commits=cluster.metrics.counters.get("commits"),
+        aborts=cluster.metrics.counters.get("aborts"),
+        sim_time_ms=cluster.now,
+        fault_stats=injector.stats,
+        schedule_actions=schedule_actions,
+        checks=auditor.checks if auditor is not None else 0,
+        violations=list(auditor.violations) if auditor is not None else [],
+        mutated=mutate,
+    )
+
+
+def run_seed_sweep(
+    seeds: Iterable[int],
+    *,
+    sites: int = 4,
+    db_size: int = 32,
+    txns: int = 60,
+    plan: Optional[FaultPlan] = None,
+    mutate: bool = False,
+) -> ChaosSweepReport:
+    """Run :func:`run_chaos_seed` for every seed; aggregate the results."""
+    if plan is None:
+        plan = FaultPlan()
+    report = ChaosSweepReport(plan=plan, mutated=mutate)
+    for seed in seeds:
+        report.results.append(
+            run_chaos_seed(
+                seed,
+                sites=sites,
+                db_size=db_size,
+                txns=txns,
+                plan=plan,
+                mutate=mutate,
+            )
+        )
+    return report

@@ -1,0 +1,121 @@
+"""Randomized site-fault schedules.
+
+Where :mod:`repro.system.scenario` scripts the paper's fixed timelines
+("before transaction 101, site 0 was brought up"), this module *generates*
+a timeline from a seeded stream: crashes, recoveries, partitions, and
+heals sprinkled across the transaction sequence, subject to the validity
+rules the managing site enforces (never fail a failed site, never recover
+an up site, always keep ``min_up_sites`` believed up so there is a
+coordinator to submit to).
+
+The output is an ordinary :class:`~repro.system.scenario.Scenario`, so the
+whole existing drive loop — managing site, submission policy, metrics —
+runs unchanged under the generated schedule.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import FaultPlan
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStream
+from repro.system.config import SystemConfig
+from repro.system.scenario import (
+    FailSite,
+    HealNetwork,
+    PartitionNetwork,
+    RecoverSite,
+    Scenario,
+    UniformRandom,
+)
+from repro.workload.uniform import UniformWorkload
+
+
+def build_chaos_scenario(
+    config: SystemConfig,
+    plan: FaultPlan,
+    rng: RandomStream,
+    txn_count: int = 60,
+) -> Scenario:
+    """Generate a randomized fail/recover/partition/heal scenario.
+
+    Actions are drawn per transaction slot from ``plan``'s schedule rates.
+    With ``plan.force_crash`` (the default) one crash is guaranteed in the
+    first third of the run and held for ``plan.forced_hold_txns`` slots, so
+    every seed commits transactions past a down site and exercises the
+    fail-lock machinery the auditor watches.
+    """
+    plan.validate()
+    if txn_count < 1:
+        raise ConfigurationError(f"txn_count must be >= 1: {txn_count}")
+    scenario = Scenario(
+        workload=UniformWorkload(config.item_ids, config.max_txn_size),
+        txn_count=txn_count,
+        policy=UniformRandom(),
+    )
+    sites = list(config.site_ids)
+    if len(sites) <= plan.min_up_sites:
+        return scenario  # nothing can fail without starving the manager
+
+    up = set(sites)
+    down: set[int] = set()
+    hold_until: dict[int, int] = {}
+    partitioned = False
+
+    forced_seq = -1
+    if plan.force_crash:
+        forced_seq = rng.randint(2, max(2, txn_count // 3))
+
+    for seq in range(1, txn_count + 1):
+        if seq == forced_seq and len(up) > plan.min_up_sites:
+            victim = rng.choice(sorted(up))
+            scenario.add_action(seq, FailSite(victim))
+            up.discard(victim)
+            down.add(victim)
+            hold_until[victim] = seq + plan.forced_hold_txns
+            continue
+
+        # Each action kind owns an exclusive slice of [0, 1); a failed
+        # guard means "no action this slot", never a different action
+        # (otherwise one kind's unusable probability mass would leak into
+        # the next kind's slice).
+        roll = rng.random()
+        crash_hi = plan.crash_rate
+        recover_hi = crash_hi + plan.recover_rate
+        partition_hi = recover_hi + plan.partition_rate
+        heal_hi = partition_hi + plan.heal_rate
+        if roll < crash_hi:
+            if len(up) > plan.min_up_sites:
+                victim = rng.choice(sorted(up))
+                scenario.add_action(seq, FailSite(victim))
+                up.discard(victim)
+                down.add(victim)
+        elif roll < recover_hi:
+            eligible = [s for s in sorted(down) if seq >= hold_until.get(s, 0)]
+            if eligible:
+                riser = rng.choice(eligible)
+                scenario.add_action(seq, RecoverSite(riser))
+                down.discard(riser)
+                up.add(riser)
+        elif roll < partition_hi:
+            if not partitioned and len(sites) >= 3:
+                groups = _random_split(sites, rng)
+                scenario.add_action(seq, PartitionNetwork(groups=groups))
+                partitioned = True
+        elif roll < heal_hi:
+            if partitioned:
+                scenario.add_action(seq, HealNetwork())
+                partitioned = False
+
+    return scenario
+
+
+def _random_split(
+    sites: list[int], rng: RandomStream
+) -> tuple[tuple[int, ...], ...]:
+    """Split ``sites`` into two non-empty partition groups."""
+    shuffled = list(sites)
+    rng.shuffle(shuffled)
+    cut = rng.randint(1, len(shuffled) - 1)
+    left = tuple(sorted(shuffled[:cut]))
+    right = tuple(sorted(shuffled[cut:]))
+    return (left, right)

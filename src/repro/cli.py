@@ -9,6 +9,7 @@ Commands map one-to-one onto the paper's artifacts:
 ``fig3``         §4.2.2 Figure 3 (scenario 2)
 ``ablations``    A1-A6 design-choice studies
 ``concurrent``   the "complete RAID" open-loop sweep (A8)
+``chaos``        randomized fault injection + invariant audit seed sweep
 ``report``       regenerate EXPERIMENTS.md (everything above)
 ===============  =======================================================
 """
@@ -164,6 +165,51 @@ def _cmd_concurrent(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import FaultPlan, format_sweep_report, run_seed_sweep
+    from repro.errors import ConfigurationError
+
+    plan = FaultPlan()
+    if args.drop_rate is not None:
+        plan.drop_rate = args.drop_rate
+    if args.duplicate_rate is not None:
+        plan.duplicate_rate = args.duplicate_rate
+    if args.delay_rate is not None:
+        plan.delay_rate = args.delay_rate
+    if args.reorder_rate is not None:
+        plan.reorder_rate = args.reorder_rate
+    if args.crash_rate is not None:
+        plan.crash_rate = args.crash_rate
+    if args.partition_rate is not None:
+        plan.partition_rate = args.partition_rate
+    try:
+        plan.validate()
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seeds = range(args.seed, args.seed + args.seeds)
+    report = run_seed_sweep(
+        seeds,
+        sites=args.sites,
+        db_size=args.db,
+        txns=args.txns,
+        plan=plan,
+        mutate=args.mutate,
+    )
+    text = format_sweep_report(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    if args.mutate:
+        # Mutation mode is an auditor self-test: silence means the auditor
+        # would also miss a real regression.
+        return 0 if report.total_violations > 0 else 1
+    return 1 if report.total_violations > 0 else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -198,6 +244,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--rates", type=float, nargs="+", default=[2.0, 6.0, 12.0]
     )
     concurrent.set_defaults(fn=_cmd_concurrent)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault injection + invariant audit seed sweep",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=20,
+        help="number of seeds to sweep, starting at --seed",
+    )
+    chaos.add_argument("--txns", type=int, default=60, help="txns per seed")
+    chaos.add_argument("--sites", type=int, default=4, help="database sites")
+    chaos.add_argument("--db", type=int, default=32, help="data items")
+    chaos.add_argument(
+        "--mutate", action="store_true",
+        help="disable fail-lock setting (auditor self-test: exit 0 iff "
+        "the auditor catches the planted bug)",
+    )
+    chaos.add_argument("--drop-rate", type=float, default=None)
+    chaos.add_argument("--duplicate-rate", type=float, default=None)
+    chaos.add_argument("--delay-rate", type=float, default=None)
+    chaos.add_argument(
+        "--reorder-rate", type=float, default=None,
+        help="FIFO-breaking early delivery (protocol-unsafe demo)",
+    )
+    chaos.add_argument("--crash-rate", type=float, default=None)
+    chaos.add_argument(
+        "--partition-rate", type=float, default=None,
+        help="network partitions (ROWAA-unsafe demo; see docs/PROTOCOL.md)",
+    )
+    chaos.add_argument("--output", default=None, help="write report to file")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")

@@ -9,7 +9,13 @@ paper is regenerated.
 
 from repro.metrics.stats import mean, median, stddev, percentile, summarize, Summary
 from repro.metrics.counters import CounterSet
-from repro.metrics.records import TxnRecord, ControlRecord, FailLockSample, CopierRecord
+from repro.metrics.records import (
+    TxnRecord,
+    ControlRecord,
+    FailLockSample,
+    CopierRecord,
+    ViolationRecord,
+)
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.availability import availability_of, AvailabilityReport
 
@@ -25,6 +31,7 @@ __all__ = [
     "ControlRecord",
     "FailLockSample",
     "CopierRecord",
+    "ViolationRecord",
     "MetricsCollector",
     "availability_of",
     "AvailabilityReport",

@@ -10,6 +10,7 @@ from repro.metrics.records import (
     CopierRecord,
     FailLockSample,
     TxnRecord,
+    ViolationRecord,
 )
 from repro.metrics.stats import Summary, summarize
 
@@ -22,6 +23,7 @@ class MetricsCollector:
         self.controls: list[ControlRecord] = []
         self.copiers: list[CopierRecord] = []
         self.faillock_samples: list[FailLockSample] = []
+        self.violations: list[ViolationRecord] = []
         self.counters = CounterSet()
         # Participant elapsed times staged here until the managing site
         # finalizes the transaction's record.
@@ -54,6 +56,11 @@ class MetricsCollector:
 
     def record_faillock_sample(self, sample: FailLockSample) -> None:
         self.faillock_samples.append(sample)
+
+    def record_violation(self, record: ViolationRecord) -> None:
+        self.violations.append(record)
+        self.counters.incr("violations")
+        self.counters.incr(f"violation_{record.invariant}")
 
     # -- queries the experiments use -------------------------------------------
 

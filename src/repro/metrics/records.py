@@ -71,6 +71,28 @@ class CopierRecord:
         return self.finished_at - self.started_at
 
 
+@dataclass(slots=True, frozen=True)
+class ViolationRecord:
+    """One protocol-invariant violation flagged by the chaos auditor.
+
+    ``invariant`` names the audited property (``atomicity``,
+    ``session-monotonicity``, ``faillock-coverage``, ``convergence``);
+    ``description`` is a deterministic, human-readable account of the
+    violating state.
+    """
+
+    invariant: str
+    time: float
+    description: str
+    txn_id: int = -1
+    site_id: int = -1
+    item_id: int = -1
+
+    def format(self) -> str:
+        """One deterministic report line."""
+        return f"t={self.time:.1f}ms [{self.invariant}] {self.description}"
+
+
 @dataclass(slots=True)
 class FailLockSample:
     """Fail-lock counts observed after one transaction completes.

@@ -10,7 +10,7 @@ in flight while CPUs stay free.
 from __future__ import annotations
 
 import abc
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import NetworkError
 
@@ -19,7 +19,7 @@ class LatencyModel(abc.ABC):
     """Strategy that assigns an in-flight delay to each message."""
 
     @abc.abstractmethod
-    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+    def sample(self, src: int, dst: int, rng: RandomStream) -> float:
         """Milliseconds a message from ``src`` to ``dst`` spends in flight."""
 
 
@@ -31,7 +31,7 @@ class ConstantLatency(LatencyModel):
             raise NetworkError(f"latency must be non-negative: {latency_ms}")
         self.latency_ms = float(latency_ms)
 
-    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+    def sample(self, src: int, dst: int, rng: RandomStream) -> float:
         return self.latency_ms
 
     def __repr__(self) -> str:
@@ -47,7 +47,7 @@ class UniformLatency(LatencyModel):
         self.low_ms = float(low_ms)
         self.high_ms = float(high_ms)
 
-    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+    def sample(self, src: int, dst: int, rng: RandomStream) -> float:
         return rng.uniform(self.low_ms, self.high_ms)
 
     def __repr__(self) -> str:

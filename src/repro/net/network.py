@@ -14,7 +14,8 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
 
 from repro.errors import NetworkError, UnknownSiteError
 from repro.net.endpoint import Endpoint, HandlerContext
@@ -31,6 +32,35 @@ from repro.sim.scheduler import EventScheduler
 # (paper §1.2: "A failed site would remain inactive until recovery was
 # initiated from the managing site").
 _DELIVER_WHEN_DOWN = frozenset({MessageType.MGR_RECOVER})
+
+
+@dataclass(slots=True)
+class MessageFate:
+    """An interposer's verdict on one in-flight message.
+
+    ``drop`` severs the link for this message exactly as a partition would:
+    the message is undeliverable and the sender gets a failure notice.
+    ``delay`` adds latency on top of the latency model (FIFO per channel is
+    preserved).  ``duplicate`` delivers a second copy ``duplicate_gap`` ms
+    after the first.  ``reorder`` lets the message deliver up to
+    ``reorder_shift`` ms *early*, before earlier traffic on its channel —
+    deliberately violating the FIFO guarantee the protocol assumes.
+    """
+
+    drop: bool = False
+    delay: float = 0.0
+    duplicate: bool = False
+    duplicate_gap: float = 0.0
+    reorder: bool = False
+    reorder_shift: float = 0.0
+
+
+class MessageInterposer(Protocol):
+    """Decides the fate of each transmitted message (fault injection)."""
+
+    def intercept(self, msg: Message) -> Optional[MessageFate]:
+        """Return a fate for ``msg``, or None for normal delivery."""
+        ...  # pragma: no cover - protocol definition
 
 
 class Network:
@@ -58,7 +88,14 @@ class Network:
         self.partitions = PartitionManager()
         # Addresses exempt from partitions (the managing site: it is the
         # experimenter's control plane, not part of the network under test).
+        # Fault interposition honours the same exemption.
         self.partition_exempt: set[int] = set()
+        # Optional fault-injection hook consulted for every non-exempt
+        # transmission (see repro.chaos.interpose).
+        self.interposer: Optional[MessageInterposer] = None
+        # Observers invoked for every successfully delivered message, in
+        # delivery order (online invariant auditing).
+        self.delivery_probes: list[Callable[[Message], None]] = []
         self.trace = trace if trace is not None else MessageTrace()
         self._endpoints: dict[int, Endpoint] = {}
         self._latency_rng = rng.stream("net.latency")
@@ -157,18 +194,62 @@ class Network:
             self.trace.record(msg, delivered=False, reason="partitioned")
             self._notify_sender_failure(msg)
             return
+        fate = None
+        if self.interposer is not None and not exempt:
+            fate = self.interposer.intercept(msg)
+        if fate is not None and fate.drop:
+            self.messages_undeliverable += 1
+            self.trace.record(msg, delivered=False, reason="chaos-drop")
+            self._notify_sender_failure(msg)
+            return
         latency = self.latency_model.sample(msg.src, msg.dst, self._latency_rng)
+        if fate is not None:
+            latency += fate.delay
         deliver_at = release_time + latency
         # Reliable FIFO per (src, dst): never deliver before an earlier
         # message on the same channel.
         channel = (msg.src, msg.dst)
-        deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
-        self._fifo_last[channel] = deliver_at
+        if fate is not None and fate.reorder:
+            # Injected reorder: allow delivery before earlier same-channel
+            # traffic, but never before the send instant.
+            deliver_at = max(release_time, deliver_at - fate.reorder_shift)
+            self._fifo_last[channel] = max(
+                self._fifo_last.get(channel, 0.0), deliver_at
+            )
+        else:
+            deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
+            self._fifo_last[channel] = deliver_at
         msg.deliver_time = deliver_at
         self.scheduler.schedule_at(
             deliver_at,
             lambda: self._deliver(msg),
             label=f"deliver#{msg.msg_id}",
+        )
+        if fate is not None and fate.duplicate:
+            self._transmit_duplicate(msg, release_time, deliver_at + fate.duplicate_gap)
+
+    def _transmit_duplicate(
+        self, msg: Message, release_time: float, deliver_at: float
+    ) -> None:
+        """Deliver a second copy of ``msg`` (chaos duplication fault)."""
+        dup = Message(
+            src=msg.src,
+            dst=msg.dst,
+            mtype=msg.mtype,
+            payload=dict(msg.payload),
+            txn_id=msg.txn_id,
+            session=msg.session,
+        )
+        dup.send_time = release_time
+        self.messages_sent += 1
+        channel = (dup.src, dup.dst)
+        deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
+        self._fifo_last[channel] = deliver_at
+        dup.deliver_time = deliver_at
+        self.scheduler.schedule_at(
+            deliver_at,
+            lambda: self._deliver(dup),
+            label=f"deliver#{dup.msg_id}",
         )
 
     def _deliver(self, msg: Message) -> None:
@@ -180,6 +261,8 @@ class Network:
             return
         self.messages_delivered += 1
         self.trace.record(msg, delivered=True)
+        for probe in self.delivery_probes:
+            probe(msg)
         ctx = HandlerContext(self, endpoint)
         ctx.charge(self.msg_recv_cost)
         endpoint.handle(ctx, msg)

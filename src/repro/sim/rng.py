@@ -12,6 +12,12 @@ import random
 
 from repro.errors import SimulationError
 
+# The type every randomness consumer is handed: a seeded stream derived
+# from :class:`DeterministicRng`.  Modules outside ``repro.sim`` must not
+# ``import random`` themselves (enforced by a test); they annotate with
+# this alias and receive an injected, seeded instance.
+RandomStream = random.Random
+
 
 class DeterministicRng:
     """A named tree of independent ``random.Random`` streams."""

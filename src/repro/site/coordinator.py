@@ -416,6 +416,8 @@ class CoordinatorRole:
             site.metrics.record_copier(record)
         txn.mark_aborted(reason, ctx.now)
         state.finish()
+        if site.probe is not None:
+            site.probe.on_coordinator_abort(site.site_id, txn.txn_id, reason)
         if site.lock_service is not None:
             site.lock_service.cancel(ctx, txn.txn_id)
         self._report(ctx, state)

@@ -78,6 +78,10 @@ class DatabaseSite(Endpoint):
         else:
             self.lock_service = None
         self.network: Network = None  # type: ignore[assignment] # set by attach()
+        # Optional audit probe (repro.chaos.invariants): notified of commit
+        # applications and coordinator aborts so protocol invariants can be
+        # checked online, as the events happen.
+        self.probe = None
         self._recovery_candidates: list[int] = []
         self._recovery_started_at = -1.0
         self._batch_pending: dict[int, list[int]] = {}
@@ -191,6 +195,8 @@ class DatabaseSite(Endpoint):
                 self.faillocks.update_on_commit(written_items, self.nsv)
             if refreshed and self.recovery.in_recovery:
                 self.recovery.note_refreshed_by_write(refreshed, ctx.now)
+        if self.probe is not None and written_items:
+            self.probe.on_commit_applied(self, txn_id, written_items, recipients)
         self._maybe_issue_batch_copiers(ctx)
 
     # -- copier responder (the 25 ms side of §2.2.3) -----------------------------------

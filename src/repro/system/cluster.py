@@ -92,6 +92,18 @@ class Cluster:
         """Current simulated time in milliseconds."""
         return self.scheduler.now
 
+    def install_probe(self, probe) -> None:
+        """Attach an audit probe to every site and the network.
+
+        ``probe`` must provide ``on_commit_applied(site, txn_id, items,
+        recipients)``, ``on_coordinator_abort(site_id, txn_id, reason)`` and
+        ``on_message(msg)`` — the hooks
+        :class:`~repro.chaos.invariants.InvariantAuditor` implements.
+        """
+        for site in self.sites:
+            site.probe = probe
+        self.network.delivery_probes.append(probe.on_message)
+
     # -- running --------------------------------------------------------------------
 
     def run(self, scenario: Scenario, max_events: int = 50_000_000) -> MetricsCollector:

@@ -10,7 +10,7 @@ extended "until site k is completely recovered" as in Experiment 2).
 from __future__ import annotations
 
 import abc
-import random
+from repro.sim.rng import RandomStream
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -59,7 +59,7 @@ class SubmissionPolicy(abc.ABC):
     """Chooses the coordinating site for each transaction."""
 
     @abc.abstractmethod
-    def choose(self, seq: int, up_sites: list[int], rng: random.Random) -> int:
+    def choose(self, seq: int, up_sites: list[int], rng: RandomStream) -> int:
         """The coordinator for transaction ``seq`` among ``up_sites``."""
 
 
@@ -69,7 +69,7 @@ class FixedSite(SubmissionPolicy):
     def __init__(self, site_id: int) -> None:
         self.site_id = site_id
 
-    def choose(self, seq: int, up_sites: list[int], rng: random.Random) -> int:
+    def choose(self, seq: int, up_sites: list[int], rng: RandomStream) -> int:
         if self.site_id not in up_sites:
             raise ConfigurationError(
                 f"fixed submission site {self.site_id} is down (txn {seq})"
@@ -83,7 +83,7 @@ class RoundRobin(SubmissionPolicy):
     def __init__(self) -> None:
         self._counter = 0
 
-    def choose(self, seq: int, up_sites: list[int], rng: random.Random) -> int:
+    def choose(self, seq: int, up_sites: list[int], rng: RandomStream) -> int:
         site = up_sites[self._counter % len(up_sites)]
         self._counter += 1
         return site
@@ -92,7 +92,7 @@ class RoundRobin(SubmissionPolicy):
 class UniformRandom(SubmissionPolicy):
     """Uniformly random among the currently-up sites."""
 
-    def choose(self, seq: int, up_sites: list[int], rng: random.Random) -> int:
+    def choose(self, seq: int, up_sites: list[int], rng: RandomStream) -> int:
         return rng.choice(up_sites)
 
 
@@ -105,7 +105,7 @@ class Weighted(SubmissionPolicy):
             raise ConfigurationError(f"bad weights: {weights}")
         self.weights = dict(weights)
 
-    def choose(self, seq: int, up_sites: list[int], rng: random.Random) -> int:
+    def choose(self, seq: int, up_sites: list[int], rng: RandomStream) -> int:
         eligible = [s for s in up_sites if self.weights.get(s, 0.0) > 0.0]
         if not eligible:
             eligible = list(up_sites)

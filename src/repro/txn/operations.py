@@ -10,7 +10,7 @@ random item.
 from __future__ import annotations
 
 import enum
-import random
+from repro.sim.rng import RandomStream
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
@@ -46,7 +46,7 @@ class Operation:
 
 
 def random_transaction_ops(
-    rng: random.Random,
+    rng: RandomStream,
     item_ids: list[int],
     max_ops: int,
     write_probability: float = 0.5,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-import random
+from repro.sim.rng import RandomStream
 
 from repro.txn.operations import Operation
 
@@ -12,7 +12,7 @@ class WorkloadGenerator(abc.ABC):
     """Produces the operation list for each successive transaction."""
 
     @abc.abstractmethod
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         """Operations for the ``txn_seq``-th transaction (1-based)."""
 
     def describe(self) -> str:

@@ -9,7 +9,7 @@ shape: three read-modify-write pairs plus one blind write.
 
 from __future__ import annotations
 
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import WorkloadError
 from repro.txn.operations import OpKind, Operation
@@ -41,7 +41,7 @@ class Et1Workload(WorkloadGenerator):
         if not self.history:
             raise WorkloadError("ET1 item space too small to carve a history region")
 
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         account = rng.choice(self.accounts)
         teller = rng.choice(self.tellers)
         branch = rng.choice(self.branches)

@@ -8,7 +8,7 @@ and occasionally touching a cold region.
 
 from __future__ import annotations
 
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import WorkloadError
 from repro.txn.operations import OpKind, Operation
@@ -52,7 +52,7 @@ class ZipfHotSetWorkload(WorkloadGenerator):
             acc += weight / total
             self._cdf.append(acc)
 
-    def _pick_hot(self, rng: random.Random) -> int:
+    def _pick_hot(self, rng: RandomStream) -> int:
         point = rng.random()
         # Linear scan is fine at hot-set sizes (paper: 50 items).
         for index, cum in enumerate(self._cdf):
@@ -60,7 +60,7 @@ class ZipfHotSetWorkload(WorkloadGenerator):
                 return self.hot_items[index]
         return self.hot_items[-1]
 
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         count = rng.randint(1, self.max_txn_size)
         ops = []
         for _ in range(count):

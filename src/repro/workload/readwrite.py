@@ -9,7 +9,7 @@ a parameter so that trade-off can be measured (bench A3).
 
 from __future__ import annotations
 
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import WorkloadError
 from repro.txn.operations import Operation, random_transaction_ops
@@ -34,7 +34,7 @@ class ReadWriteWorkload(WorkloadGenerator):
         self.max_txn_size = max_txn_size
         self.write_probability = write_probability
 
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         return random_transaction_ops(
             rng,
             self.item_ids,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import WorkloadError
 from repro.txn.operations import Operation, random_transaction_ops
@@ -25,7 +25,7 @@ class UniformWorkload(WorkloadGenerator):
         self.item_ids = list(item_ids)
         self.max_txn_size = max_txn_size
 
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         return random_transaction_ops(
             rng, self.item_ids, self.max_txn_size, write_probability=0.5
         )

@@ -9,7 +9,7 @@ interleaved with transactions that update a few scattered items.
 
 from __future__ import annotations
 
-import random
+from repro.sim.rng import RandomStream
 
 from repro.errors import WorkloadError
 from repro.txn.operations import OpKind, Operation
@@ -41,7 +41,7 @@ class WisconsinWorkload(WorkloadGenerator):
         self.update_count = update_count
         self.scan_fraction = scan_fraction
 
-    def generate(self, txn_seq: int, rng: random.Random) -> list[Operation]:
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
         if rng.random() < self.scan_fraction:
             start = rng.randint(0, len(self.item_ids) - self.scan_length)
             return [

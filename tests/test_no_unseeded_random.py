@@ -1,0 +1,47 @@
+"""Determinism guard: all randomness flows through the seeded sim RNG.
+
+Every experiment claims exact replay from a single seed.  That claim dies
+the moment any module grabs the global ``random`` module (or instantiates
+its own unseeded generator), so this test greps the source tree: outside
+``repro.sim`` — where the one blessed ``import random`` lives — no module
+may import ``random``.  Consumers annotate with
+:data:`repro.sim.rng.RandomStream` and receive an injected, seeded stream.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Matches both plain imports and from-imports of the stdlib module, at any
+# indentation (a function-local import is just as unseeded).
+FORBIDDEN = re.compile(r"^\s*(import random\b|from random\s+import)", re.M)
+
+
+def test_src_tree_exists() -> None:
+    assert SRC.is_dir(), f"source tree not found at {SRC}"
+
+
+def test_no_unseeded_random_outside_sim() -> None:
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative.parts[0] == "sim":
+            continue
+        if FORBIDDEN.search(path.read_text(encoding="utf-8")):
+            offenders.append(str(relative))
+    assert not offenders, (
+        "unseeded `import random` outside repro.sim (use "
+        f"repro.sim.rng.RandomStream and dependency injection): {offenders}"
+    )
+
+
+def test_sim_rng_is_the_blessed_importer() -> None:
+    """The alias consumers depend on actually exists where claimed."""
+    import random
+
+    from repro.sim.rng import RandomStream
+
+    assert RandomStream is random.Random
