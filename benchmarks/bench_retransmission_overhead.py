@@ -1,0 +1,104 @@
+"""Retransmission-sublayer overhead: reliability must be cheap when
+nothing is lost.
+
+The reliable-delivery layer (sequence numbers, per-arrival transport
+acks, retransmission timers) rides under every tracked message, so its
+loss-free cost is pure overhead.  This bench runs the same seeded,
+fault-free workload with the layer on and off and checks that (a) the
+protocol outcomes are bit-for-bit unaffected — the layer is transparent
+when the network behaves — and (b) the wall-clock and message-count
+costs stay within generous bounds.
+"""
+
+import time
+
+from repro.chaos import FaultPlan, build_chaos_scenario
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+
+SEED = 42
+TXNS = 60
+
+
+def run_lossfree(with_retry_layer: bool):
+    """One fault-free chaos-shaped run (crash/recover schedule only)."""
+    plan = FaultPlan(
+        lossy_core=with_retry_layer,
+        drop_rate=0.0,
+        duplicate_rate=0.0,
+        delay_rate=0.0,
+        reorder_rate=0.0,
+    )
+    config = SystemConfig(
+        db_size=32,
+        num_sites=4,
+        seed=SEED,
+        wire_latency_ms=2.0,
+        reliable_delivery=with_retry_layer,
+        timeouts_enabled=with_retry_layer,
+    )
+    cluster = Cluster(config)
+    scenario = build_chaos_scenario(
+        config, plan, cluster.rng.stream("chaos.schedule"), txn_count=TXNS
+    )
+    cluster.run(scenario)
+    return cluster
+
+
+def test_bench_retry_layer_on(benchmark):
+    cluster = benchmark.pedantic(
+        lambda: run_lossfree(True), rounds=3, iterations=1
+    )
+    assert cluster.metrics.counters.get("commits") > 0
+    assert cluster.network.reliable is not None
+
+
+def test_bench_retry_layer_off(benchmark):
+    cluster = benchmark.pedantic(
+        lambda: run_lossfree(False), rounds=3, iterations=1
+    )
+    assert cluster.metrics.counters.get("commits") > 0
+    assert cluster.network.reliable is None
+
+
+def test_retry_layer_is_transparent_and_cheap_without_loss():
+    # Warm both paths once so import costs don't skew either side.
+    run_lossfree(True)
+    run_lossfree(False)
+    rounds = 3
+    on_s = off_s = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        with_layer = run_lossfree(True)
+        on_s += time.perf_counter() - start
+        start = time.perf_counter()
+        without_layer = run_lossfree(False)
+        off_s += time.perf_counter() - start
+
+    # (a) Transparency: same seed, same schedule, no faults — the layer
+    # must not change a single protocol outcome.
+    for counter in ("commits", "aborts", "control_type2"):
+        assert with_layer.metrics.counters.get(
+            counter
+        ) == without_layer.metrics.counters.get(counter)
+    for site_on, site_off in zip(with_layer.sites, without_layer.sites):
+        assert site_on.db.dump() == site_off.db.dump()
+        assert site_on.faillocks.snapshot() == site_off.faillocks.snapshot()
+    stats = with_layer.network.reliable.stats
+    assert stats.retransmissions == 0, "retried without any loss"
+    assert stats.duplicates_suppressed == 0
+    assert stats.gave_up == 0
+
+    # (b) Cost: one transport ack per tracked message is the designed
+    # amplification; anything past ~2x message volume means the layer is
+    # chattier than it claims.
+    sent_on = with_layer.network.messages_sent
+    sent_off = without_layer.network.messages_sent
+    assert sent_on <= 2.2 * sent_off, (
+        f"message amplification too high: {sent_on} vs {sent_off}"
+    )
+    # Generous wall-clock bound: sequence stamping, dedup-window lookups,
+    # and timer arm/cancel per message should cost well under 3x.
+    assert on_s < 3.0 * off_s + 0.05 * rounds, (
+        f"retry-layer overhead too high: {on_s:.3f}s on vs {off_s:.3f}s off"
+    )

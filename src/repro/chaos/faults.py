@@ -7,24 +7,27 @@ randomness lives in :mod:`repro.chaos.interpose` and
 :mod:`repro.chaos.schedule` — so the same plan under the same seed always
 produces the same run.
 
-Faults are only injected where the protocol has a documented answer for
-the resulting silence:
+Which faults are safe depends on what the cluster is running:
 
-* a *drop* is indistinguishable from a partition for that one message —
-  the sender gets the failure notice and runs the Appendix-A "site is now
-  down" branch — so only messages whose loss leaves purely conservative
-  state behind are droppable (see :data:`DROPPABLE`); dropping 2PC
-  traffic would plant false failure suspicions of live sites, which the
-  fail-stop protocol never has to face;
-* a *duplicate* is only injected for messages the receiving side
-  deduplicates or applies idempotently;
-* *delay* preserves the per-channel FIFO guarantee and is safe anywhere;
-* *reorder* deliberately breaks FIFO and therefore the protocol's
-  transport assumption — it is off by default and exists to demonstrate
-  that the auditor catches transport-level regressions.
+* **Conservative mode** (``lossy_core=False``, the default — byte-identical
+  replay of existing seeds): the cluster runs the paper's bare protocol,
+  which assumes reliable FIFO delivery, so faults stay inside that
+  assumption.  Drops are restricted to :data:`DROPPABLE` (losses that
+  leave only conservative state behind), duplicates to :data:`DUPLICABLE`
+  (receivers that dedup or apply idempotently), delays are safe anywhere,
+  and reorder is an off-by-default auditor demo.
+* **Lossy-core mode** (``lossy_core=True``, via :meth:`FaultPlan.lossy`):
+  the runner switches on ``reliable_delivery`` and ``timeouts_enabled``,
+  so the retransmission sublayer (:mod:`repro.net.reliable`) and the 2PC
+  termination protocol discharge the transport assumption themselves.
+  Any message type — 2PC traffic, acks, recovery state, everything — may
+  then be silently dropped, duplicated, delayed, or reordered: drops are
+  *silent* (no failure notice; recovery is the retransmission layer's
+  job), duplicates are caught by the receiver-side dedup window, and
+  reordering is undone by the sequence-number reorder buffer.
 
-The managing site's control plane (``MGR_*`` traffic) is never touched:
-it is the experimenter's harness, not the network under test.
+The managing site's control plane (``MGR_*`` traffic) is never touched in
+either mode: it is the experimenter's harness, not the network under test.
 """
 
 from __future__ import annotations
@@ -34,8 +37,10 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.net.message import MessageType
 
-# Message types whose loss stays within the protocol's environment
-# assumptions.  The protocol's safety rests on an implicit invariant: all
+# Message types whose loss stays within the BARE protocol's environment
+# assumptions (conservative mode only — lossy_core mode ignores this set,
+# because the retransmission sublayer makes every loss recoverable).
+# The protocol's safety rests on an implicit invariant: all
 # operational sites hold IDENTICAL fail-lock knowledge (every commit's
 # maintenance and every announcement reaches every operational site), and
 # the type-1 recovery install trusts that invariant by REPLACING the
@@ -63,8 +68,11 @@ from repro.net.message import MessageType
 # * CLEAR_FAILLOCKS — the receiver keeps a fail-lock for a copy that was
 #   already refreshed; over-locking costs a redundant copier, not safety.
 #
-# Acks, responses, and manager traffic are never faulted: the serial
-# drive loop has no timeouts and would simply stall.
+# In conservative mode, acks, responses, and manager traffic are never
+# faulted: the bare serial drive loop has no timeouts and would simply
+# stall.  Under ``lossy_core`` every one of these restrictions is lifted —
+# timeouts, retransmission, and the termination protocol exist precisely
+# so that 2PC traffic loss is survivable.
 DROPPABLE: frozenset[MessageType] = frozenset(
     {
         MessageType.ABORT,
@@ -95,6 +103,13 @@ class FaultPlan:
     per transmitted (non-exempt) message, schedule faults roll once per
     transaction slot.
     """
+
+    # Full fault model: drop/duplicate/delay/reorder ANY message type
+    # (drops silently — no failure notice).  Requires the cluster to run
+    # with ``reliable_delivery`` and ``timeouts_enabled`` (the chaos
+    # runner switches both on when it sees this flag); injecting silent
+    # loss into the bare protocol would simply stall the drive loop.
+    lossy_core: bool = False
 
     # -- message faults (the interposition layer) --------------------------
     drop_rate: float = 0.02
@@ -153,18 +168,37 @@ class FaultPlan:
 
     def describe(self) -> str:
         """A deterministic one-line summary (report header)."""
-        return (
+        base = (
             f"drop={self.drop_rate:.0%} dup={self.duplicate_rate:.0%} "
             f"delay={self.delay_rate:.0%}<={self.delay_max_ms:.0f}ms "
             f"reorder={self.reorder_rate:.0%} | "
             f"crash={self.crash_rate:.0%} recover={self.recover_rate:.0%} "
             f"partition={self.partition_rate:.0%} heal={self.heal_rate:.0%}"
         )
+        # Appended only in lossy-core mode so conservative-mode reports
+        # stay byte-identical to those of earlier revisions.
+        if self.lossy_core:
+            base += " | mode=lossy-core (all message types, silent drops)"
+        return base
 
     @classmethod
     def quiet(cls) -> "FaultPlan":
         """No message faults; only the crash/recover/partition schedule."""
         return cls(drop_rate=0.0, duplicate_rate=0.0, delay_rate=0.0)
+
+    @classmethod
+    def lossy(cls) -> "FaultPlan":
+        """The full fault model: any message type may be silently dropped,
+        duplicated, delayed, or delivered early (FIFO-breaking) — survivable
+        because the runner pairs this plan with ``reliable_delivery`` and
+        ``timeouts_enabled``."""
+        return cls(
+            lossy_core=True,
+            drop_rate=0.05,
+            duplicate_rate=0.05,
+            delay_rate=0.25,
+            reorder_rate=0.10,
+        )
 
     @classmethod
     def aggressive(cls) -> "FaultPlan":

@@ -40,12 +40,47 @@ class FaultInjector:
         rng = self._rng
         self.intercepted += 1
 
+        if plan.lossy_core:
+            return self._intercept_lossy(msg)
+
         if msg.mtype in DROPPABLE and rng.random() < plan.drop_rate:
             self.stats.note("dropped", msg.mtype)
             return MessageFate(drop=True)
 
         fate: Optional[MessageFate] = None
         if msg.mtype in DUPLICABLE and rng.random() < plan.duplicate_rate:
+            fate = fate if fate is not None else MessageFate()
+            fate.duplicate = True
+            fate.duplicate_gap = rng.uniform(0.0, plan.duplicate_gap_ms)
+            self.stats.note("duplicated", msg.mtype)
+        if plan.delay_rate > 0.0 and rng.random() < plan.delay_rate:
+            fate = fate if fate is not None else MessageFate()
+            fate.delay = rng.uniform(0.0, plan.delay_max_ms)
+            self.stats.note("delayed", msg.mtype)
+        if plan.reorder_rate > 0.0 and rng.random() < plan.reorder_rate:
+            fate = fate if fate is not None else MessageFate()
+            fate.reorder = True
+            fate.reorder_shift = rng.uniform(0.0, plan.reorder_window_ms)
+            self.stats.note("reordered", msg.mtype)
+        return fate
+
+    def _intercept_lossy(self, msg: Message) -> Optional[MessageFate]:
+        """Full fault model (``lossy_core``): any message type is fair game.
+
+        Drops are *silent* — no sender failure notice, exactly like a real
+        lossy network — which is only survivable because the cluster runs
+        the retransmission sublayer and the 2PC termination protocol.  The
+        conservative :data:`DROPPABLE`/:data:`DUPLICABLE` gates are
+        deliberately not consulted; transport acks (``NET_ACK``) are
+        faulted like everything else.
+        """
+        plan = self.plan
+        rng = self._rng
+        if rng.random() < plan.drop_rate:
+            self.stats.note("dropped", msg.mtype)
+            return MessageFate(drop=True, silent=True)
+        fate: Optional[MessageFate] = None
+        if rng.random() < plan.duplicate_rate:
             fate = fate if fate is not None else MessageFate()
             fate.duplicate = True
             fate.duplicate_gap = rng.uniform(0.0, plan.duplicate_gap_ms)

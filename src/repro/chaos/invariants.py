@@ -20,7 +20,12 @@ happen, the safety properties the paper's protocol promises:
   copies agree on the value (the replicated-copy-control invariant the
   cluster's ``audit_consistency`` checks, hardened against chaos-induced
   false failure suspicions by auditing the *union* of the operational
-  sites' tables).
+  sites' tables);
+* **liveness** — every transaction the managing site submitted reaches a
+  commit or abort outcome before quiescence, and the drive loop itself
+  never stalls (the scheduler must not drain with the scenario
+  unfinished).  This is the guarantee the timeout/retransmission layer
+  adds: under message loss the bare protocol would block forever.
 
 Violations are recorded into the cluster's metrics as
 :class:`~repro.metrics.records.ViolationRecord` rows and kept on the
@@ -33,7 +38,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.faillocks import FailLockTable
 from repro.metrics.records import ViolationRecord
-from repro.net.message import Message
+from repro.net.message import Message, MessageType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.site.site import DatabaseSite
@@ -50,6 +55,11 @@ class InvariantAuditor:
         self._channel_session: dict[tuple[int, int], int] = {}
         self._committed: set[int] = set()
         self._aborted: set[int] = set()
+        # Liveness: transactions the managing site submitted vs. the ones
+        # it saw complete (both observed from the delivery probe).
+        self._submitted: set[int] = set()
+        self._finished: set[int] = set()
+        self._stalled = False
 
     # -- flagging -----------------------------------------------------------
 
@@ -75,7 +85,11 @@ class InvariantAuditor:
     # -- probe hooks (called by network and sites) --------------------------
 
     def on_message(self, msg: Message) -> None:
-        """Delivery probe: per-channel session monotonicity."""
+        """Delivery probe: session monotonicity + liveness bookkeeping."""
+        if msg.mtype is MessageType.MGR_SUBMIT_TXN:
+            self._submitted.add(msg.txn_id)
+        elif msg.mtype is MessageType.MGR_TXN_DONE:
+            self._finished.add(msg.txn_id)
         if msg.session < 0:
             return
         self.checks += 1
@@ -143,6 +157,19 @@ class InvariantAuditor:
             )
         self._aborted.add(txn_id)
 
+    def note_stall(self) -> None:
+        """The drive loop stalled: the scheduler drained with the scenario
+        unfinished.  Called by the chaos runner when ``Cluster.run`` raises
+        :class:`~repro.errors.SimulationError` — under chaos that is a
+        liveness violation to report, not a crash."""
+        self._stalled = True
+        self.checks += 1
+        self._flag(
+            "liveness",
+            "drive loop stalled: scheduler drained before the scenario "
+            "finished (a protocol exchange is blocked forever)",
+        )
+
     # -- quiescence audit ---------------------------------------------------
 
     def check_quiescence(self) -> list[ViolationRecord]:
@@ -154,9 +181,22 @@ class InvariantAuditor:
         """
         cluster = self.cluster
         before = len(self.violations)
+        # Liveness: every submitted transaction must have completed.  Only
+        # counted when it fires, so clean conservative-mode reports stay
+        # byte-identical to those of earlier revisions.
+        unfinished = sorted(self._submitted - self._finished)
+        if unfinished:
+            self.checks += 1
+            self._flag(
+                "liveness",
+                f"{len(unfinished)} submitted transaction(s) never reached "
+                f"commit or abort: {unfinished[:10]}"
+                + ("..." if len(unfinished) > 10 else ""),
+                txn_id=unfinished[0],
+            )
         alive = [s for s in cluster.sites if s.alive]
         if not alive:
-            return []
+            return self.violations[before:]
         # Union of the tables of sites that consider themselves operational:
         # a single observer may have been falsely suspected down (a dropped
         # COMMIT looks like its failure) and missed the corrective type-2

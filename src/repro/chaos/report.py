@@ -45,6 +45,24 @@ def format_sweep_report(report: ChaosSweepReport) -> str:
         f"{report.total_violations} violations "
         f"(faults column is drop/dup/delay/reorder)"
     )
+    if report.plan.lossy_core:
+        # Transport-layer work done to survive the full fault model.
+        # Emitted only for lossy-core plans so conservative-mode reports
+        # stay byte-identical to those of earlier revisions.
+        retransmits = sum(
+            r.net_stats.retransmissions for r in report.results if r.net_stats
+        )
+        dedups = sum(
+            r.net_stats.duplicates_suppressed
+            for r in report.results
+            if r.net_stats
+        )
+        gave_up = sum(r.net_stats.gave_up for r in report.results if r.net_stats)
+        stalls = len(report.stalled_seeds)
+        lines.append(
+            f"transport: {retransmits} retransmissions, {dedups} duplicates "
+            f"suppressed, {gave_up} gave-up; {stalls} stalled run(s)"
+        )
     dirty = report.dirty_seeds
     if dirty:
         lines.append("")

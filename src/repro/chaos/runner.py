@@ -23,7 +23,9 @@ from repro.chaos.invariants import InvariantAuditor
 from repro.chaos.schedule import build_chaos_scenario
 from repro.core.faillocks import FailLockTable
 from repro.core.sessions import NominalSessionVector, SiteState
+from repro.errors import SimulationError
 from repro.metrics.records import ViolationRecord
+from repro.net.reliable import ReliableStats
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 
@@ -91,6 +93,10 @@ class ChaosRunResult:
     checks: int
     violations: list[ViolationRecord] = field(default_factory=list)
     mutated: bool = False
+    # Lossy-core extras (defaults keep conservative-mode results, and the
+    # reports built from them, identical to earlier revisions).
+    stalled: bool = False
+    net_stats: Optional[ReliableStats] = None
 
     @property
     def clean(self) -> bool:
@@ -123,6 +129,11 @@ class ChaosSweepReport:
         """Seeds that flagged at least one violation."""
         return [r.seed for r in self.results if not r.clean]
 
+    @property
+    def stalled_seeds(self) -> list[int]:
+        """Seeds whose drive loop stalled (liveness failures)."""
+        return [r.seed for r in self.results if r.stalled]
+
 
 def run_chaos_seed(
     seed: int,
@@ -143,11 +154,16 @@ def run_chaos_seed(
     if plan is None:
         plan = FaultPlan()
     plan.validate()
+    # The full fault model needs the layers that make it survivable: the
+    # retransmission sublayer (silent drops) and the 2PC timeouts /
+    # termination protocol (blocked transactions).
     config = SystemConfig(
         db_size=db_size,
         num_sites=sites,
         seed=seed,
         wire_latency_ms=2.0,
+        reliable_delivery=plan.lossy_core,
+        timeouts_enabled=plan.lossy_core,
     )
     cluster = Cluster(config)
     if mutate:
@@ -162,7 +178,16 @@ def run_chaos_seed(
         config, plan, cluster.rng.stream("chaos.schedule"), txn_count=txns
     )
     schedule_actions = sum(len(actions) for actions in scenario.actions.values())
-    cluster.run(scenario)
+    stalled = False
+    try:
+        cluster.run(scenario)
+    except SimulationError:
+        # The scheduler drained with the scenario unfinished.  Under chaos
+        # that is a *finding* (a liveness violation the sweep must report),
+        # not a tooling crash.
+        stalled = True
+        if auditor is not None:
+            auditor.note_stall()
     if auditor is not None:
         auditor.check_quiescence()
     return ChaosRunResult(
@@ -176,6 +201,12 @@ def run_chaos_seed(
         checks=auditor.checks if auditor is not None else 0,
         violations=list(auditor.violations) if auditor is not None else [],
         mutated=mutate,
+        stalled=stalled,
+        net_stats=(
+            cluster.network.reliable.stats
+            if cluster.network.reliable is not None
+            else None
+        ),
     )
 
 

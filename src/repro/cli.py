@@ -169,7 +169,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import FaultPlan, format_sweep_report, run_seed_sweep
     from repro.errors import ConfigurationError
 
-    plan = FaultPlan()
+    plan = {
+        "default": FaultPlan,
+        "quiet": FaultPlan.quiet,
+        "aggressive": FaultPlan.aggressive,
+        "lossy-core": FaultPlan.lossy,
+    }[args.mode]()
     if args.drop_rate is not None:
         plan.drop_rate = args.drop_rate
     if args.duplicate_rate is not None:
@@ -254,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of seeds to sweep, starting at --seed",
     )
     chaos.add_argument("--txns", type=int, default=60, help="txns per seed")
+    chaos.add_argument(
+        "--mode", choices=["default", "quiet", "aggressive", "lossy-core"],
+        default="default",
+        help="fault plan preset; lossy-core faults ALL message types "
+        "(silent drops) and runs the retransmission + timeout layers "
+        "(explicit rate flags still override the preset)",
+    )
     chaos.add_argument("--sites", type=int, default=4, help="database sites")
     chaos.add_argument("--db", type=int, default=32, help="data items")
     chaos.add_argument(

@@ -7,6 +7,12 @@ had implicitly: a latency/cost model for each communication (measured at
 9 ms per inter-site message in mini-RAID), partition injection for the
 network-partition scenarios the protocol is designed to survive, and a
 message trace for debugging and metrics.
+
+When the network itself is allowed to lose messages (the chaos layer's
+``lossy_core`` mode), :mod:`repro.net.reliable` rebuilds the reliable
+abstraction on top: per-channel sequence numbers, receiver-side dedup and
+reordering, and sender-side ack tracking with exponential-backoff
+retransmission — all driven by the deterministic event scheduler.
 """
 
 from repro.net.message import Message, MessageType
@@ -14,6 +20,7 @@ from repro.net.latency import ConstantLatency, UniformLatency, LatencyModel
 from repro.net.endpoint import Endpoint, HandlerContext
 from repro.net.network import Network
 from repro.net.partition import PartitionManager
+from repro.net.reliable import ReliableDelivery, ReliableStats, RetransmitPolicy
 from repro.net.trace import MessageTrace, TraceEntry
 
 __all__ = [
@@ -26,6 +33,9 @@ __all__ = [
     "HandlerContext",
     "Network",
     "PartitionManager",
+    "ReliableDelivery",
+    "ReliableStats",
+    "RetransmitPolicy",
     "MessageTrace",
     "TraceEntry",
 ]

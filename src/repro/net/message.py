@@ -45,6 +45,16 @@ class MessageType(enum.Enum):
     CREATE_COPY = "create_copy"               # type 3 (proposed extension)
     CREATE_COPY_ACK = "create_copy_ack"
 
+    # Blocked-transaction resolution (cooperative termination): a
+    # participant holding staged updates for a silent coordinator asks the
+    # coordinator — or, failing that, its peers — for the outcome.
+    TXN_STATUS_REQ = "txn_status_req"
+    TXN_STATUS_RESP = "txn_status_resp"
+
+    # Transport-level acknowledgement of the reliable-delivery sublayer
+    # (repro.net.reliable).  Never reaches an endpoint's handler.
+    NET_ACK = "net_ack"
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -71,6 +81,10 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     send_time: float = -1.0
     deliver_time: float = -1.0
+    # Per-channel sequence number stamped by the reliable-delivery
+    # sublayer (repro.net.reliable); -1 means the message is untracked
+    # (reliability disabled, or transport-internal traffic).
+    seq: int = -1
 
     def __repr__(self) -> str:
         return (

@@ -15,7 +15,10 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.reliable import ReliableDelivery
 
 from repro.errors import NetworkError, UnknownSiteError
 from repro.net.endpoint import Endpoint, HandlerContext
@@ -39,15 +42,19 @@ class MessageFate:
     """An interposer's verdict on one in-flight message.
 
     ``drop`` severs the link for this message exactly as a partition would:
-    the message is undeliverable and the sender gets a failure notice.
-    ``delay`` adds latency on top of the latency model (FIFO per channel is
-    preserved).  ``duplicate`` delivers a second copy ``duplicate_gap`` ms
-    after the first.  ``reorder`` lets the message deliver up to
-    ``reorder_shift`` ms *early*, before earlier traffic on its channel —
-    deliberately violating the FIFO guarantee the protocol assumes.
+    the message is undeliverable and the sender gets a failure notice —
+    unless ``silent`` is also set, in which case the message simply
+    vanishes (true message loss: nobody is told, and only the
+    retransmission sublayer can recover it).  ``delay`` adds latency on
+    top of the latency model (FIFO per channel is preserved).
+    ``duplicate`` delivers a second copy ``duplicate_gap`` ms after the
+    first.  ``reorder`` lets the message deliver up to ``reorder_shift``
+    ms *early*, before earlier traffic on its channel — deliberately
+    violating the FIFO guarantee the protocol assumes.
     """
 
     drop: bool = False
+    silent: bool = False
     delay: float = 0.0
     duplicate: bool = False
     duplicate_gap: float = 0.0
@@ -93,6 +100,11 @@ class Network:
         # Optional fault-injection hook consulted for every non-exempt
         # transmission (see repro.chaos.interpose).
         self.interposer: Optional[MessageInterposer] = None
+        # Optional retransmission sublayer (repro.net.reliable): sequence
+        # numbers, receiver-side dedup/ordering, sender-side ack tracking.
+        # None by default — the stock network is the paper's reliable FIFO
+        # transport and behaves byte-identically with the layer absent.
+        self.reliable: Optional["ReliableDelivery"] = None
         # Observers invoked for every successfully delivered message, in
         # delivery order (online invariant auditing).
         self.delivery_probes: list[Callable[[Message], None]] = []
@@ -192,14 +204,28 @@ class Network:
         if not exempt and not self.partitions.connected(msg.src, msg.dst):
             self.messages_undeliverable += 1
             self.trace.record(msg, delivered=False, reason="partitioned")
+            # A partition is a *detectable* severance: stop any
+            # retransmission and unblock the channel slot.
+            if self.reliable is not None:
+                self.reliable.cancel(msg)
             self._notify_sender_failure(msg)
             return
+        if self.reliable is not None and msg.seq < 0 and self.reliable.tracks(msg):
+            self.reliable.track(msg)
         fate = None
         if self.interposer is not None and not exempt:
             fate = self.interposer.intercept(msg)
         if fate is not None and fate.drop:
             self.messages_undeliverable += 1
+            if fate.silent:
+                # True message loss: nobody learns anything.  Only the
+                # retransmission sublayer can recover the message — silent
+                # drops are only injected when it is installed.
+                self.trace.record(msg, delivered=False, reason="chaos-drop-silent")
+                return
             self.trace.record(msg, delivered=False, reason="chaos-drop")
+            if self.reliable is not None:
+                self.reliable.cancel(msg)
             self._notify_sender_failure(msg)
             return
         latency = self.latency_model.sample(msg.src, msg.dst, self._latency_rng)
@@ -239,6 +265,7 @@ class Network:
             payload=dict(msg.payload),
             txn_id=msg.txn_id,
             session=msg.session,
+            seq=msg.seq,  # the receiver-side dedup window catches the copy
         )
         dup.send_time = release_time
         self.messages_sent += 1
@@ -254,7 +281,39 @@ class Network:
 
     def _deliver(self, msg: Message) -> None:
         endpoint = self._endpoints[msg.dst]
+        if msg.mtype is MessageType.NET_ACK:
+            # Transport-internal: consumed by the reliable layer, never
+            # surfaced to the endpoint.  An ack to a dead sender is moot.
+            if not endpoint.alive or self.reliable is None:
+                self.messages_undeliverable += 1
+                self.trace.record(msg, delivered=False, reason="site down")
+                return
+            self.messages_delivered += 1
+            self.trace.record(msg, delivered=True)
+            self.reliable.on_ack(msg)
+            return
         if not endpoint.alive and msg.mtype not in _DELIVER_WHEN_DOWN:
+            self.messages_undeliverable += 1
+            self.trace.record(msg, delivered=False, reason="site down")
+            if self.reliable is not None:
+                self.reliable.cancel(msg)
+            self._notify_sender_failure(msg)
+            return
+        if self.reliable is not None and msg.seq >= 0:
+            deliverable, status = self.reliable.on_arrival(msg)
+            if status == "dup":
+                self.messages_undeliverable += 1
+                self.trace.record(msg, delivered=False, reason="transport-dedup")
+            for ready in deliverable:
+                self._deliver_to_endpoint(ready)
+            return
+        self._deliver_to_endpoint(msg)
+
+    def _deliver_to_endpoint(self, msg: Message) -> None:
+        """Hand a (logically deliverable) message to its endpoint."""
+        endpoint = self._endpoints[msg.dst]
+        if not endpoint.alive and msg.mtype not in _DELIVER_WHEN_DOWN:
+            # The site died while the message sat in the reorder buffer.
             self.messages_undeliverable += 1
             self.trace.record(msg, delivered=False, reason="site down")
             self._notify_sender_failure(msg)
@@ -269,6 +328,8 @@ class Network:
         self._finish_activation(ctx)
 
     def _notify_sender_failure(self, msg: Message) -> None:
+        if msg.mtype is MessageType.NET_ACK:
+            return
         sender = self._endpoints.get(msg.src)
         if sender is None or not sender.alive:
             return

@@ -1,0 +1,306 @@
+"""Reliable delivery over a lossy network: retransmission and dedup.
+
+The paper's protocol (and everything built on it here) assumes the
+transport never loses a message.  :class:`ReliableDelivery` discharges
+that assumption on top of a network that *does* lose messages (the chaos
+layer's ``lossy_core`` mode): it turns at-most-once physical delivery
+into exactly-once, in-order logical delivery per channel, the way a real
+replicated system's transport (TCP, or an application-level session
+layer) would.
+
+Mechanics, all driven by the one deterministic event scheduler:
+
+* **sequence numbers** — every tracked transmission is stamped with a
+  per-``(src, dst)`` channel sequence number (``Message.seq``);
+  retransmissions reuse the original number.
+* **receiver-side dedup and ordering** — the receiving end delivers
+  channel traffic strictly in sequence order: early arrivals are held in
+  a reorder buffer, repeats of an already-delivered sequence number are
+  counted and discarded.  Every arrival is acknowledged (``NET_ACK``),
+  including repeats, so a lost ack cannot wedge the sender.
+* **sender-side ack tracking** — each unacked transmission carries a
+  retransmission timer with exponential backoff; after ``max_retries``
+  unacknowledged attempts the destination is reported *genuinely
+  unreachable* through the network's ordinary failure-notice path, which
+  is exactly the signal the protocol's Appendix-A failure branches (and
+  the coordinator's type-2 fallback) already consume.
+
+State here is transport state, not site state: it survives the crash of
+the endpoints it serves (like a NIC's counters), and a bounced message —
+destination down or partitioned away — cancels its tracking and *skips*
+its sequence number at the receiver so later traffic is never wedged
+behind a message that can no longer arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message, MessageType
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+
+
+@dataclass(slots=True)
+class RetransmitPolicy:
+    """Timer constants of the reliable-delivery sublayer.
+
+    ``rto_ms`` is the initial retransmission timeout; each unacknowledged
+    attempt multiplies it by ``backoff`` up to ``rto_max_ms``.  After
+    ``max_retries`` transmissions without an ack the destination is
+    declared unreachable.
+    """
+
+    rto_ms: float = 60.0
+    backoff: float = 2.0
+    rto_max_ms: float = 480.0
+    max_retries: int = 8
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any bad value."""
+        if self.rto_ms <= 0:
+            raise ConfigurationError(f"rto_ms must be positive: {self.rto_ms}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1: {self.backoff}"
+            )
+        if self.rto_max_ms < self.rto_ms:
+            raise ConfigurationError(
+                f"rto_max_ms must be >= rto_ms: {self.rto_max_ms}"
+            )
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1: {self.max_retries}"
+            )
+
+    def rto_for_attempt(self, attempt: int) -> float:
+        """The timeout armed after transmission number ``attempt`` (1-based)."""
+        return min(self.rto_ms * self.backoff ** (attempt - 1), self.rto_max_ms)
+
+
+@dataclass(slots=True)
+class ReliableStats:
+    """Transport-layer event counts for one run."""
+
+    tracked: int = 0           # first transmissions given a sequence number
+    retransmissions: int = 0   # timer-driven resends
+    acks_sent: int = 0
+    duplicates_suppressed: int = 0  # arrivals of an already-seen seq
+    buffered_out_of_order: int = 0  # early arrivals parked for ordering
+    gave_up: int = 0           # retry cap hit -> unreachable report
+
+    def describe(self) -> str:
+        """Deterministic summary cell: retransmit/dedup/gave-up."""
+        return f"{self.retransmissions}/{self.duplicates_suppressed}/{self.gave_up}"
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One unacknowledged transmission at the sender."""
+
+    msg: Message
+    attempts: int = 1
+    timer: Optional[Event] = None
+
+
+class _ChannelReceiver:
+    """Receiver-side ordering state for one (src, dst) channel."""
+
+    __slots__ = ("next_seq", "buffer", "skipped")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.buffer: dict[int, Message] = {}
+        self.skipped: set[int] = set()
+
+    def advance(self) -> list[Message]:
+        """Pop the in-order run now deliverable at the head of the window."""
+        ready: list[Message] = []
+        while True:
+            if self.next_seq in self.skipped:
+                self.skipped.discard(self.next_seq)
+                self.next_seq += 1
+                continue
+            msg = self.buffer.pop(self.next_seq, None)
+            if msg is None:
+                return ready
+            ready.append(msg)
+            self.next_seq += 1
+
+
+class ReliableDelivery:
+    """The retransmission sublayer attached to a :class:`Network`.
+
+    The network consults it at three points: when releasing a tracked
+    message (:meth:`track`), when a tracked message physically arrives
+    (:meth:`on_arrival`), and when a tracked message becomes permanently
+    undeliverable — destination down or partitioned (:meth:`cancel`).
+    """
+
+    def __init__(self, network: "Network", policy: Optional[RetransmitPolicy] = None) -> None:
+        self.network = network
+        self.policy = policy if policy is not None else RetransmitPolicy()
+        self.policy.validate()
+        self.stats = ReliableStats()
+        self._next_seq: dict[tuple[int, int], int] = {}
+        self._pending: dict[tuple[int, int, int], _Pending] = {}
+        self._receivers: dict[tuple[int, int], _ChannelReceiver] = {}
+
+    # -- eligibility -------------------------------------------------------
+
+    def tracks(self, msg: Message) -> bool:
+        """Whether ``msg`` travels under retransmission protection.
+
+        Transport acks are never tracked (no ack-of-ack), and the managing
+        site's control plane is exempt for the same reason it is exempt
+        from partitions and fault interposition: it is the experimenter's
+        harness, not the network under test.
+        """
+        if msg.mtype is MessageType.NET_ACK:
+            return False
+        exempt = self.network.partition_exempt
+        return msg.src not in exempt and msg.dst not in exempt
+
+    # -- sender side -------------------------------------------------------
+
+    def track(self, msg: Message) -> None:
+        """Stamp a first transmission with its sequence number and arm its
+        retransmission timer (retransmissions re-arm from the timer path)."""
+        channel = (msg.src, msg.dst)
+        msg.seq = self._next_seq.get(channel, 0)
+        self._next_seq[channel] = msg.seq + 1
+        self.stats.tracked += 1
+        pending = _Pending(msg=msg)
+        self._pending[(msg.src, msg.dst, msg.seq)] = pending
+        self._arm_timer(pending)
+
+    def _arm_timer(self, pending: _Pending) -> None:
+        msg = pending.msg
+        key = (msg.src, msg.dst, msg.seq)
+        delay = self.policy.rto_for_attempt(pending.attempts)
+        pending.timer = self.network.scheduler.schedule(
+            delay,
+            lambda: self._on_timer(key),
+            label=f"rto#{msg.msg_id}",
+        )
+
+    def _on_timer(self, key: tuple[int, int, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:
+            return  # acked or cancelled; timer was stale
+        msg = pending.msg
+        sender = self.network._endpoints.get(msg.src)
+        if sender is None or not sender.alive:
+            # A dead sender retransmits nothing; its state is gone.
+            self._pending.pop(key, None)
+            return
+        if pending.attempts >= self.policy.max_retries:
+            # The destination has ignored every attempt: report it
+            # genuinely unreachable through the ordinary failure-notice
+            # path (the protocol's Appendix-A branches take it from here).
+            self._pending.pop(key, None)
+            self.stats.gave_up += 1
+            self._skip_at_receiver(msg)
+            self.network._notify_sender_failure(msg)
+            return
+        pending.attempts += 1
+        self.stats.retransmissions += 1
+        clone = Message(
+            src=msg.src,
+            dst=msg.dst,
+            mtype=msg.mtype,
+            payload=dict(msg.payload),
+            txn_id=msg.txn_id,
+            session=msg.session,
+            seq=msg.seq,
+        )
+        pending.msg = clone
+        self._arm_timer(pending)
+        self.network._transmit(clone, self.network.scheduler.now)
+
+    def on_ack(self, ack: Message) -> None:
+        """A ``NET_ACK`` arrived at the original sender: stop retransmitting."""
+        key = (ack.dst, ack.src, ack.payload["seq"])
+        pending = self._pending.pop(key, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    def cancel(self, msg: Message) -> None:
+        """``msg`` is permanently undeliverable (destination down or
+        partitioned): drop its tracking and skip its slot at the receiver
+        so later channel traffic is not wedged behind it."""
+        if msg.seq < 0:
+            return
+        pending = self._pending.pop((msg.src, msg.dst, msg.seq), None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+        self._skip_at_receiver(msg)
+
+    def _skip_at_receiver(self, msg: Message) -> None:
+        receiver = self._receivers.setdefault((msg.src, msg.dst), _ChannelReceiver())
+        if msg.seq >= receiver.next_seq and msg.seq not in receiver.buffer:
+            receiver.skipped.add(msg.seq)
+            if receiver.next_seq in receiver.skipped:
+                # Skipping the head of the window may unblock buffered
+                # successors (e.g. traffic sent right after the destination
+                # recovered, parked behind a message that bounced while it
+                # was down): deliver them now.
+                for ready in receiver.advance():
+                    self.network._deliver_to_endpoint(ready)
+
+    # -- receiver side -----------------------------------------------------
+
+    def on_arrival(self, msg: Message) -> tuple[list[Message], str]:
+        """A tracked message physically reached an alive destination.
+
+        Returns ``(deliverable, status)``: the messages now deliverable to
+        the endpoint in channel order (possibly empty, possibly several if
+        ``msg`` filled a gap), and what happened to the arriving message
+        itself — ``"ready"``, ``"held"`` (parked for ordering), or
+        ``"dup"`` (already seen).  Every arrival is acknowledged, repeats
+        included, so a lost ack cannot wedge the sender.
+        """
+        receiver = self._receivers.setdefault((msg.src, msg.dst), _ChannelReceiver())
+        self._send_ack(msg)
+        if (
+            msg.seq < receiver.next_seq
+            or msg.seq in receiver.buffer
+            or msg.seq in receiver.skipped
+        ):
+            self.stats.duplicates_suppressed += 1
+            return [], "dup"
+        if msg.seq > receiver.next_seq:
+            receiver.buffer[msg.seq] = msg
+            self.stats.buffered_out_of_order += 1
+            return [], "held"
+        receiver.buffer[msg.seq] = msg
+        return receiver.advance(), "ready"
+
+    def _send_ack(self, msg: Message) -> None:
+        self.stats.acks_sent += 1
+        ack = Message(
+            src=msg.dst,
+            dst=msg.src,
+            mtype=MessageType.NET_ACK,
+            payload={"seq": msg.seq},
+            txn_id=msg.txn_id,
+        )
+        self.network._transmit(ack, self.network.scheduler.now)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged tracked transmissions."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReliableDelivery(in_flight={self.in_flight}, "
+            f"retransmissions={self.stats.retransmissions}, "
+            f"dedup={self.stats.duplicates_suppressed})"
+        )

@@ -17,7 +17,7 @@ commit still completes among the survivors (Appendix A).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.core import copier as copier_mod
 from repro.core.rowaa import ReadSource
@@ -48,6 +48,10 @@ class CoordinatorRole:
     def __init__(self, site: "DatabaseSite") -> None:
         self.site = site
         self.active: dict[int, CoordinatorState] = {}
+        # Outcomes of finished transactions, kept so TXN_STATUS_REQ
+        # inquiries from blocked participants can be answered after the
+        # active record is gone: txn_id -> ("committed"|"aborted", version).
+        self._decided: dict[int, tuple[str, int]] = {}
         # Copier exchanges in flight: txn_id -> {source site: [item ids]}.
         self._copier_pending: dict[int, dict[int, list[int]]] = {}
         self._copier_records: dict[int, list[CopierRecord]] = {}
@@ -324,6 +328,36 @@ class CoordinatorRole:
                 txn_id=txn.txn_id,
                 session=site.nsv.my_session,
             )
+        if site.config.timeouts_enabled:
+            txn_id = txn.txn_id
+            ctx.after(
+                site.config.vote_timeout_ms,
+                lambda ctx2: self._on_vote_timeout(ctx2, txn_id),
+            )
+
+    def _on_vote_timeout(self, ctx: HandlerContext, txn_id: int) -> None:
+        """Phase-1 votes never (all) arrived: abort and tell everyone.
+
+        Appendix A treats a missing vote as a participant failure; with
+        message loss in the picture the safe reading is only "this
+        participant is not answering", so the transaction aborts without a
+        type-2 announcement — no site is declared down on a timeout alone.
+        """
+        site = self.site
+        if not site.alive:
+            return
+        state = self.active.get(txn_id)
+        if state is None or state.phase is not CommitPhase.VOTING:
+            return  # resolved before the timer fired
+        silent = sorted(state.pending_votes)
+        site.metrics.counters.incr("timeout_vote_aborts")
+        for peer in silent:
+            state.drop_participant(peer)
+        # The silent voters may well have staged the updates (their ack,
+        # not the request, may be what was lost): send them the ABORT too.
+        self._abort(
+            ctx, state, AbortReason.PARTICIPANT_TIMEOUT, extra_targets=silent
+        )
 
     def on_vote_ack(self, ctx: HandlerContext, msg: Message) -> None:
         """Phase-one ack from a participant."""
@@ -346,6 +380,50 @@ class CoordinatorRole:
                 )
             if not state.participants:
                 self._local_commit(ctx, state)
+            elif site.config.timeouts_enabled:
+                self._arm_commit_timer(ctx, msg.txn_id)
+
+    def _arm_commit_timer(self, ctx: HandlerContext, txn_id: int) -> None:
+        ctx.after(
+            self.site.config.commit_retry_ms,
+            lambda ctx2: self._on_commit_timeout(ctx2, txn_id),
+        )
+
+    def _on_commit_timeout(self, ctx: HandlerContext, txn_id: int) -> None:
+        """Phase-2 acks are overdue.  The decision is commit, so there is
+        nothing to abort: re-send the COMMIT to the silent participants,
+        persistently.  The type-2 corrective path is reserved for
+        participants the network reports genuinely unreachable (a bounce
+        or a retransmission give-up, via :meth:`on_delivery_failed`);
+        ``commit_max_retries`` is only a last-resort liveness backstop
+        against an adversarial channel that swallows every re-send without
+        ever producing such a report.
+        """
+        site = self.site
+        if not site.alive:
+            return
+        state = self.active.get(txn_id)
+        if state is None or state.phase is not CommitPhase.COMMITTING:
+            return  # all acks arrived before the timer fired
+        pending = sorted(state.pending_commit_acks)
+        if state.commit_retries < site.config.commit_max_retries:
+            state.commit_retries += 1
+            site.metrics.counters.incr("commit_retransmits")
+            version = self._commit_version(state)
+            for peer in pending:
+                ctx.send(
+                    peer,
+                    MessageType.COMMIT,
+                    {"version": version},
+                    txn_id=txn_id,
+                    session=site.nsv.my_session,
+                )
+            self._arm_commit_timer(ctx, txn_id)
+            return
+        for peer in pending:
+            self._commit_participant_unreachable(ctx, state, peer)
+        if state.phase is CommitPhase.COMMITTING and not state.pending_commit_acks:
+            self._local_commit(ctx, state)
 
     def _merge_quorum_reads(
         self, state: CoordinatorState, versions: list[tuple[int, int, int]]
@@ -394,6 +472,7 @@ class CoordinatorRole:
         updates = [(item, value, version) for item, value, _v in state.updates]
         site.commit_writes(ctx, txn.txn_id, updates, recipients=state.recipients)
         txn.mark_committed(ctx.now)
+        self._decided[txn.txn_id] = ("committed", version)
         state.finish()
         if site.lock_service is not None:
             site.lock_service.release(ctx, txn.txn_id)
@@ -402,12 +481,20 @@ class CoordinatorRole:
         self._report(ctx, state)
 
     def _abort(
-        self, ctx: HandlerContext, state: CoordinatorState, reason: AbortReason
+        self,
+        ctx: HandlerContext,
+        state: CoordinatorState,
+        reason: AbortReason,
+        extra_targets: Optional[list[int]] = None,
     ) -> None:
         site = self.site
         txn = state.txn
         # Tell any participant holding staged updates to discard them.
+        # ``extra_targets`` covers participants already dropped from the
+        # state (e.g. silent phase-1 voters) that may hold staged updates
+        # all the same.
         targets = set(state.pending_votes) | set(state.participants)
+        targets.update(extra_targets or [])
         for peer in sorted(targets):
             ctx.send(peer, MessageType.ABORT, {}, txn_id=txn.txn_id)
         for record in self._copier_records.pop(txn.txn_id, []):
@@ -415,6 +502,7 @@ class CoordinatorRole:
                 record.finished_at = ctx.now
             site.metrics.record_copier(record)
         txn.mark_aborted(reason, ctx.now)
+        self._decided[txn.txn_id] = ("aborted", -1)
         state.finish()
         if site.probe is not None:
             site.probe.on_coordinator_abort(site.site_id, txn.txn_id, reason)
@@ -437,26 +525,56 @@ class CoordinatorRole:
         ctx.on_done(finalize)
         self.active.pop(txn.txn_id, None)
 
+    # -- status inquiries (cooperative termination) --------------------------------------
+
+    def txn_status(self, txn_id: int) -> tuple[str, int]:
+        """Answer a TXN_STATUS_REQ about a transaction this site coordinated.
+
+        Returns ``(status, commit_version)`` where status is "committed",
+        "aborted", "pending" (decision not yet taken) or "unknown" (never
+        coordinated here).  Once phase two has begun the decision *is*
+        commit — participants asking mid-phase-2 may apply it.
+        """
+        state = self.active.get(txn_id)
+        if state is not None:
+            if state.phase is CommitPhase.COMMITTING:
+                return ("committed", state.commit_version)
+            return ("pending", -1)
+        return self._decided.get(txn_id, ("unknown", -1))
+
     # -- failure notices ---------------------------------------------------------------
+
+    def _commit_participant_unreachable(
+        self, ctx: HandlerContext, state: CoordinatorState, peer: int
+    ) -> None:
+        """Phase-2 participant declared unreachable: the commit completes
+        among the survivors, but ``peer`` never applied its staged updates —
+        its copies of the written items are stale.  The type-2 announcement
+        carries that corrective fail-lock information (survivors may have
+        just cleared those very bits)."""
+        site = self.site
+        stale = sorted(item for item, _v, _ver in state.updates)
+        site.announce_failure(ctx, [peer], stale_items=stale)
+        for item in list(state.recipients):
+            state.recipients[item] = [
+                s for s in state.recipients[item] if s != peer
+            ]
+        state.drop_participant(peer)
 
     def on_delivery_failed(self, ctx: HandlerContext, msg: Message) -> None:
         """A protocol message bounced: the destination is down (Appendix A's
-        "site to which ... sent is now down" branches)."""
+        "site to which ... sent is now down" branches), or the
+        retransmission sublayer exhausted its retries and declared it
+        unreachable."""
         site = self.site
         state = self.active.get(msg.txn_id)
-        if state is not None and msg.mtype is MessageType.COMMIT:
-            # Phase two: the commit completes among the survivors, but the
-            # dead participant never applied its staged updates — its
-            # copies of the written items are stale.  The type-2
-            # announcement carries that corrective fail-lock information
-            # (survivors may have just cleared those very bits).
-            stale = sorted(item for item, _v, _ver in state.updates)
-            site.announce_failure(ctx, [msg.dst], stale_items=stale)
-            for item in list(state.recipients):
-                state.recipients[item] = [
-                    s for s in state.recipients[item] if s != msg.dst
-                ]
-            state.drop_participant(msg.dst)
+        if msg.mtype is MessageType.COMMIT:
+            if state is None:
+                # The transaction already completed (a re-sent COMMIT got
+                # through, or another notice finished the job); a late
+                # bounce changes nothing.
+                return
+            self._commit_participant_unreachable(ctx, state, msg.dst)
             if state.phase is CommitPhase.COMMITTING and not state.pending_commit_acks:
                 self._local_commit(ctx, state)
             return

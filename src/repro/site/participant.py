@@ -27,10 +27,18 @@ class ParticipantRole:
 
     def __init__(self, site: "DatabaseSite") -> None:
         self.site = site
-        # txn_id -> (phase-one start time, updates, per-item recipients)
+        # txn_id -> (phase-one start, updates, per-item recipients, coordinator)
         self._in_flight: dict[
-            int, tuple[float, list[tuple[int, int, int]], dict[int, list[int]]]
+            int,
+            tuple[float, list[tuple[int, int, int]], dict[int, list[int]], int],
         ] = {}
+        # Outcomes this site applied as a participant, kept to answer
+        # TXN_STATUS_REQ inquiries from blocked peers after the in-flight
+        # record is gone: txn_id -> ("committed"|"aborted", version).
+        self._decided: dict[int, tuple[str, int]] = {}
+        # Cooperative-termination inquiries in flight: txn_id -> remaining
+        # candidate sites to ask (coordinator first, then peers).
+        self._inquiries: dict[int, list[int]] = {}
 
     def on_vote_req(self, ctx: HandlerContext, msg: Message) -> None:
         """Phase one: buffer the copy updates and acknowledge.
@@ -93,7 +101,14 @@ class ParticipantRole:
             int(item): list(sites)
             for item, sites in msg.payload.get("recipients", {}).items()
         }
-        self._in_flight[txn_id] = (started, updates, recipients)
+        self._in_flight[txn_id] = (started, updates, recipients, msg.src)
+        if site.config.timeouts_enabled:
+            # Blocked-transaction watchdog: if neither COMMIT nor ABORT has
+            # arrived by then, run the TXN_STATUS_REQ termination inquiry.
+            ctx.after(
+                site.config.status_inquiry_ms,
+                lambda ctx2: self._on_status_timer(ctx2, txn_id),
+            )
 
         # Embedded clear-fail-locks information (the §2.2.3 optimization).
         embedded = msg.payload.get("cleared_faillocks")
@@ -131,13 +146,9 @@ class ParticipantRole:
             # coordinator and move on.
             ctx.send(msg.src, MessageType.COMMIT_ACK, {}, txn_id=txn_id)
             return
-        started, updates, recipients = entry
-        site.db.abort_staged(txn_id)  # re-apply through the shared path
+        started, updates, recipients, _coordinator = entry
         version = msg.payload.get("version", -1)
-        updates = [(item, value, version) for item, value, _v in updates]
-        site.commit_writes(ctx, txn_id, updates, recipients=recipients)
-        if site.lock_service is not None:
-            site.lock_service.release(ctx, txn_id)
+        self._apply_commit(ctx, txn_id, updates, recipients, version)
         ctx.send(
             msg.src,
             MessageType.COMMIT_ACK,
@@ -153,13 +164,158 @@ class ParticipantRole:
 
         ctx.on_done(record_elapsed)
 
+    def _apply_commit(
+        self,
+        ctx: HandlerContext,
+        txn_id: int,
+        updates: list[tuple[int, int, int]],
+        recipients: dict[int, list[int]],
+        version: int,
+    ) -> None:
+        """Apply staged updates at the commit point (phase two or a
+        cooperative-termination "committed" answer)."""
+        site = self.site
+        site.db.abort_staged(txn_id)  # re-apply through the shared path
+        stamped = [(item, value, version) for item, value, _v in updates]
+        site.commit_writes(ctx, txn_id, stamped, recipients=recipients)
+        if site.lock_service is not None:
+            site.lock_service.release(ctx, txn_id)
+        self._decided[txn_id] = ("committed", version)
+        self._inquiries.pop(txn_id, None)
+
     def on_abort(self, ctx: HandlerContext, msg: Message) -> None:
         """Abort indication: discard the buffered copy updates (and, in
         concurrent mode, cancel any parked lock acquisition)."""
-        self.site.db.abort_staged(msg.txn_id)
-        self._in_flight.pop(msg.txn_id, None)
+        self._discard(ctx, msg.txn_id)
+
+    def _discard(self, ctx: HandlerContext, txn_id: int) -> None:
+        self.site.db.abort_staged(txn_id)
+        if self._in_flight.pop(txn_id, None) is not None:
+            self._decided[txn_id] = ("aborted", -1)
+        self._inquiries.pop(txn_id, None)
         if self.site.lock_service is not None:
-            self.site.lock_service.cancel(ctx, msg.txn_id)
+            self.site.lock_service.cancel(ctx, txn_id)
+
+    # -- cooperative termination (blocked-transaction resolution) ------------------
+
+    def _on_status_timer(self, ctx: HandlerContext, txn_id: int) -> None:
+        """The commit/abort indication is overdue: ask around.
+
+        The coordinator is asked first (it knows; it may merely be slow or
+        behind a lossy channel), then every operational peer — any
+        participant that already applied the outcome can answer.
+        """
+        site = self.site
+        if not site.alive:
+            return
+        entry = self._in_flight.get(txn_id)
+        if entry is None:
+            return  # resolved before the timer fired
+        coordinator = entry[3]
+        site.metrics.counters.incr("status_inquiries")
+        candidates = [coordinator] + [
+            peer
+            for peer in sorted(site.nsv.operational_peers())
+            if peer != coordinator
+        ]
+        self._inquiries[txn_id] = candidates
+        self._send_next_inquiry(ctx, txn_id)
+
+    def _send_next_inquiry(self, ctx: HandlerContext, txn_id: int) -> None:
+        site = self.site
+        if txn_id not in self._in_flight:
+            self._inquiries.pop(txn_id, None)
+            return
+        candidates = self._inquiries.get(txn_id)
+        if not candidates:
+            self._presume_abort(ctx, txn_id)
+            return
+        target = candidates.pop(0)
+        ctx.send(
+            target,
+            MessageType.TXN_STATUS_REQ,
+            {},
+            txn_id=txn_id,
+            session=site.nsv.my_session,
+        )
+
+    def on_status_resp(self, ctx: HandlerContext, msg: Message) -> None:
+        """A status answer arrived for a blocked transaction."""
+        site = self.site
+        txn_id = msg.txn_id
+        entry = self._in_flight.get(txn_id)
+        if entry is None:
+            self._inquiries.pop(txn_id, None)
+            return  # the real indication raced the answer in; done
+        status = msg.payload["status"]
+        if status == "committed":
+            site.metrics.counters.incr("termination_committed")
+            started, updates, recipients, coordinator = entry
+            del self._in_flight[txn_id]
+            self._apply_commit(
+                ctx, txn_id, updates, recipients, msg.payload.get("version", -1)
+            )
+            # Best-effort: let the coordinator (if it is still the one
+            # waiting) cross us off its pending-ack set.
+            ctx.send(
+                coordinator,
+                MessageType.COMMIT_ACK,
+                {},
+                txn_id=txn_id,
+                session=site.nsv.my_session,
+            )
+
+            def record_elapsed() -> None:
+                site.metrics.note_participant(
+                    txn_id, site.site_id, site.network.scheduler.now - started
+                )
+
+            ctx.on_done(record_elapsed)
+        elif status == "aborted":
+            site.metrics.counters.incr("termination_aborted")
+            self._discard(ctx, txn_id)
+        elif status == "pending":
+            # The decision genuinely has not been taken yet; back off and
+            # re-run the whole inquiry later.
+            ctx.after(
+                site.config.status_inquiry_ms,
+                lambda ctx2: self._on_status_timer(ctx2, txn_id),
+            )
+        else:  # "unknown" — this candidate cannot help; try the next
+            self._send_next_inquiry(ctx, txn_id)
+
+    def on_status_req_failed(self, ctx: HandlerContext, msg: Message) -> None:
+        """Our TXN_STATUS_REQ bounced (candidate down/unreachable): treat it
+        like an "unknown" answer and move to the next candidate."""
+        self._send_next_inquiry(ctx, msg.txn_id)
+
+    def _presume_abort(self, ctx: HandlerContext, txn_id: int) -> None:
+        """Every candidate is unreachable or ignorant: presume abort.
+
+        Safe in this system because the coordinator ships the COMMIT to all
+        participants in one activation and commits locally only after every
+        COMMIT_ACK: if any site had applied the commit, some operational
+        participant (or the coordinator) would have answered "committed".
+        All candidates answering "unknown" means no copy of the decision
+        survives — discarding the staged updates leaves every site
+        consistent with the transaction never having committed.
+        """
+        site = self.site
+        if txn_id not in self._in_flight:
+            self._inquiries.pop(txn_id, None)
+            return
+        site.metrics.counters.incr("termination_presumed_abort")
+        self._discard(ctx, txn_id)
+
+    def txn_status(self, txn_id: int) -> tuple[str, int]:
+        """Answer a peer's TXN_STATUS_REQ from this site's participant view.
+
+        A transaction merely staged here is reported "unknown", not
+        "pending" — a participant has no say in the decision, and two
+        mutually blocked participants reporting "pending" to each other
+        would inquire forever.
+        """
+        return self._decided.get(txn_id, ("unknown", -1))
 
     @property
     def staged_txns(self) -> list[int]:

@@ -110,6 +110,10 @@ class DatabaseSite(Endpoint):
             self.coordinator.on_vote_nack(ctx, msg)
         elif mtype is MessageType.COMMIT_ACK:
             self.coordinator.on_commit_ack(ctx, msg)
+        elif mtype is MessageType.TXN_STATUS_REQ:
+            self._on_txn_status_req(ctx, msg)
+        elif mtype is MessageType.TXN_STATUS_RESP:
+            self.participant.on_status_resp(ctx, msg)
         elif mtype is MessageType.COPY_REQ:
             self._serve_copy_request(ctx, msg)
         elif mtype is MessageType.COPY_RESP:
@@ -145,6 +149,22 @@ class DatabaseSite(Endpoint):
     def _decode_txn(msg: Message) -> Transaction:
         ops = [Operation(kind=k, item_id=i) for k, i in msg.payload["ops"]]
         return Transaction(txn_id=msg.txn_id, ops=ops)
+
+    def _on_txn_status_req(self, ctx: HandlerContext, msg: Message) -> None:
+        """Cooperative termination: a blocked participant asks what became
+        of a transaction.  Consult the coordinator role first (it owns the
+        decision), then our own participant view (we may have applied the
+        outcome as a fellow participant)."""
+        status, version = self.coordinator.txn_status(msg.txn_id)
+        if status == "unknown":
+            status, version = self.participant.txn_status(msg.txn_id)
+        ctx.send(
+            msg.src,
+            MessageType.TXN_STATUS_RESP,
+            {"status": status, "version": version},
+            txn_id=msg.txn_id,
+            session=self.nsv.my_session,
+        )
 
     # -- shared commit processing ----------------------------------------------------
 
@@ -494,6 +514,10 @@ class DatabaseSite(Endpoint):
             MessageType.COMMIT,
         ):
             self.coordinator.on_delivery_failed(ctx, msg)
+        elif msg.mtype is MessageType.TXN_STATUS_REQ:
+            # A termination-inquiry candidate is unreachable: move on to
+            # the next one (no type-2 announcement for an inquiry bounce).
+            self.participant.on_status_req_failed(ctx, msg)
         elif msg.mtype is MessageType.RECOVERY_ANNOUNCE:
             if msg.payload.get("respond") == msg.dst:
                 self._retry_recovery_responder(ctx, msg)

@@ -48,6 +48,12 @@ class Cluster:
             msg_recv_cost=self.config.costs.msg_recv_cost,
             failure_detect_delay=self.config.failure_detect_delay_ms,
         )
+        if self.config.reliable_delivery:
+            from repro.net.reliable import ReliableDelivery
+
+            self.network.reliable = ReliableDelivery(
+                self.network, self.config.retransmit_policy()
+            )
         self.catalog = (
             catalog
             if catalog is not None

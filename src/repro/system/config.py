@@ -95,6 +95,32 @@ class SystemConfig:
     wire_latency_ms: float = 0.0
     failure_detect_delay_ms: float = 0.0
 
+    # Reliable-delivery sublayer (repro.net.reliable): per-channel
+    # sequence numbers, receiver-side dedup/ordering, ack-tracked
+    # retransmission with exponential backoff.  Off by default — the stock
+    # network already is the paper's reliable FIFO transport, and leaving
+    # the layer out keeps existing seeds byte-identical.  Required for any
+    # fault mode that drops messages silently (chaos ``lossy_core``).
+    reliable_delivery: bool = False
+    net_rto_ms: float = 60.0
+    net_rto_backoff: float = 2.0
+    net_rto_max_ms: float = 480.0
+    net_max_retries: int = 8
+
+    # Protocol-level timeouts (2PC termination).  Off by default for the
+    # same byte-identical-replay reason.  When enabled: a coordinator that
+    # waits longer than ``vote_timeout_ms`` for phase-1 acks aborts the
+    # transaction; one that waits longer than ``commit_retry_ms`` for
+    # phase-2 acks re-sends the COMMIT, up to ``commit_max_retries`` times
+    # before treating the silent participants as failed; a participant
+    # holding staged updates longer than ``status_inquiry_ms`` runs the
+    # TXN_STATUS_REQ cooperative-termination inquiry.
+    timeouts_enabled: bool = False
+    vote_timeout_ms: float = 400.0
+    commit_retry_ms: float = 400.0
+    commit_max_retries: int = 10
+    status_inquiry_ms: float = 900.0
+
     # The managing site's address is one past the last database site.
     @property
     def site_ids(self) -> list[int]:
@@ -140,6 +166,28 @@ class SystemConfig:
                 f"failure_detect_delay_ms must be non-negative: "
                 f"{self.failure_detect_delay_ms}"
             )
+        for name in ("vote_timeout_ms", "commit_retry_ms", "status_inquiry_ms"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive: {getattr(self, name)}"
+                )
+        if self.commit_max_retries < 1:
+            raise ConfigurationError(
+                f"commit_max_retries must be >= 1: {self.commit_max_retries}"
+            )
+        self.retransmit_policy().validate()
+
+    def retransmit_policy(self):
+        """The :class:`~repro.net.reliable.RetransmitPolicy` these knobs
+        describe (used by the cluster builder when ``reliable_delivery``)."""
+        from repro.net.reliable import RetransmitPolicy
+
+        return RetransmitPolicy(
+            rto_ms=self.net_rto_ms,
+            backoff=self.net_rto_backoff,
+            rto_max_ms=self.net_rto_max_ms,
+            max_retries=self.net_max_retries,
+        )
 
     @classmethod
     def paper_experiment1(cls, **overrides) -> "SystemConfig":

@@ -28,6 +28,7 @@ class AbortReason(enum.Enum):
     COPY_UNAVAILABLE = "copy_unavailable"     # copier had no source (§4.2.1)
     COPIER_SOURCE_DOWN = "copier_source_down"  # source failed mid-copier
     PARTICIPANT_FAILED = "participant_failed"  # phase-1 participant down
+    PARTICIPANT_TIMEOUT = "participant_timeout"  # phase-1 votes never arrived
     COORDINATOR_FAILED = "coordinator_failed"
     SESSION_CHANGED = "session_changed"        # status change mid-transaction
     LOCK_DEADLOCK = "lock_deadlock"            # 2PL extension only

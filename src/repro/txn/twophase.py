@@ -50,6 +50,10 @@ class CoordinatorState:
     copier_source: int = -1
     copiers_requested: int = 0
     started_at: float = 0.0
+    # Phase-2 termination: how many times the coordinator's timeout has
+    # re-sent the COMMIT to silent participants (repro.site.coordinator
+    # escalates to the type-2 path past ``commit_max_retries``).
+    commit_retries: int = 0
 
     def begin_voting(self, participants: list[int], time_unused: float = 0.0) -> None:
         """Enter phase one, expecting votes from ``participants``."""
@@ -91,7 +95,13 @@ class CoordinatorState:
         return not self.pending_commit_acks
 
     def drop_participant(self, site_id: int) -> None:
-        """Remove a participant discovered down (timeout detection mode)."""
+        """Remove a participant the coordinator has stopped waiting on.
+
+        Reached from both detection paths: a delivery-failure notice (the
+        network reports the site down or unreachable) and a protocol
+        timeout (phase-1 votes or phase-2 acks overdue past the configured
+        retry budget).  Dropping the site lets the protocol complete among
+        the remainder, per Appendix A."""
         if site_id in self.participants:
             self.participants.remove(site_id)
         self.pending_votes.discard(site_id)

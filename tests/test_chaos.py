@@ -184,6 +184,31 @@ def test_auditor_quiescence_flags_unlocked_stale_copy() -> None:
     assert clean.check_quiescence() == []
 
 
+def test_auditor_flags_unfinished_transactions() -> None:
+    """Liveness: a submitted transaction with no DONE by quiescence."""
+    auditor = InvariantAuditor(_bare_cluster())
+    auditor.on_message(
+        Message(src=2, dst=0, mtype=MessageType.MGR_SUBMIT_TXN, txn_id=5)
+    )
+    findings = auditor.check_quiescence()
+    assert any(v.invariant == "liveness" for v in findings)
+    # Completing it clears the finding.
+    clean = InvariantAuditor(_bare_cluster())
+    clean.on_message(
+        Message(src=2, dst=0, mtype=MessageType.MGR_SUBMIT_TXN, txn_id=5)
+    )
+    clean.on_message(
+        Message(src=0, dst=2, mtype=MessageType.MGR_TXN_DONE, txn_id=5)
+    )
+    assert not any(v.invariant == "liveness" for v in clean.check_quiescence())
+
+
+def test_auditor_note_stall_flags_liveness() -> None:
+    auditor = InvariantAuditor(_bare_cluster())
+    auditor.note_stall()
+    assert [v.invariant for v in auditor.violations] == ["liveness"]
+
+
 def test_violations_recorded_in_cluster_metrics() -> None:
     cluster = _bare_cluster()
     auditor = InvariantAuditor(cluster)
@@ -248,7 +273,44 @@ def test_tier1_invariant_matches_cluster_audit() -> None:
     assert result.violations == []
 
 
+# -- lossy-core mode ----------------------------------------------------------
+
+
+def test_lossy_core_survives_the_full_fault_model() -> None:
+    """Silent drops/dups/delays/reorder of ANY message type: the
+    retransmission + timeout layers must keep every invariant (liveness
+    included) intact."""
+    result = run_chaos_seed(42, txns=30, plan=FaultPlan.lossy())
+    assert result.violations == []
+    assert not result.stalled
+    assert result.commits > 0
+    assert result.net_stats is not None
+    assert result.net_stats.retransmissions > 0  # losses actually recovered
+    assert result.net_stats.duplicates_suppressed > 0
+    assert result.fault_stats.reordered > 0
+
+
+def test_lossy_core_report_adds_transport_summary() -> None:
+    report = run_seed_sweep(range(42, 44), txns=25, plan=FaultPlan.lossy())
+    assert report.stalled_seeds == []
+    text = format_sweep_report(report)
+    assert "mode=lossy-core" in text
+    assert "transport:" in text
+    # Conservative-mode reports must NOT grow the new line.
+    plain = format_sweep_report(run_seed_sweep(range(42, 43), txns=25))
+    assert "transport:" not in plain and "mode=lossy-core" not in plain
+
+
 # -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_chaos_lossy_mode_exits_zero(capsys) -> None:
+    code = main(["chaos", "--mode", "lossy-core", "--seeds", "2", "--txns", "20"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mode=lossy-core" in out
+    assert "transport:" in out
+    assert "no invariant violations." in out
 
 
 def test_cli_chaos_clean_exits_zero(capsys) -> None:
