@@ -7,6 +7,20 @@ plus seeded crash–recover–partition–heal schedules) and an online auditor
 that checks the protocol's safety invariants while the chaos runs.  A
 seed sweep (``repro chaos --seeds N``) turns the pair into a repeatable
 search for protocol regressions.
+
+Programmatic usage::
+
+    from repro.chaos import FaultPlan, run_chaos_seed, run_seed_sweep
+
+    result = run_chaos_seed(7)                  # conservative plan
+    assert result.clean                         # no invariant violations
+
+    report = run_seed_sweep(range(20), plan=FaultPlan.lossy())
+    print(report.dirty_seeds, report.stalled_seeds)
+
+``run_chaos_seed(..., trace=TraceSink(enabled=True))`` additionally
+records the run's structured trace (see :mod:`repro.obs`); auditor
+findings then appear as ``chaos.violation`` events with causal context.
 """
 
 from repro.chaos.faults import DROPPABLE, DUPLICABLE, FaultPlan, FaultStats

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.faillocks import FailLockTable
 from repro.metrics.records import ViolationRecord
 from repro.net.message import Message, MessageType
+from repro.obs.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.site.site import DatabaseSite
@@ -81,6 +82,19 @@ class InvariantAuditor:
         )
         self.violations.append(record)
         self.cluster.metrics.record_violation(record)
+        obs = self.cluster.network.obs
+        if obs.enabled:
+            # Inherits the current activation scope (e.g. the delivery that
+            # triggered the check) as causal parent via the sink's default.
+            obs.emit(
+                self.cluster.now,
+                EventKind.VIOLATION,
+                site=site_id,
+                txn=txn_id,
+                invariant=invariant,
+                description=description,
+                item=item_id,
+            )
 
     # -- probe hooks (called by network and sites) --------------------------
 

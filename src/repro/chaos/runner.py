@@ -15,7 +15,7 @@ auditor detects real bugs rather than vacuously passing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.chaos.faults import FaultPlan, FaultStats
 from repro.chaos.interpose import FaultInjector
@@ -28,6 +28,9 @@ from repro.metrics.records import ViolationRecord
 from repro.net.reliable import ReliableStats
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.sink import TraceSink
 
 
 class NeuteredFailLockTable(FailLockTable):
@@ -144,12 +147,17 @@ def run_chaos_seed(
     plan: Optional[FaultPlan] = None,
     mutate: bool = False,
     audit: bool = True,
+    trace: Optional["TraceSink"] = None,
 ) -> ChaosRunResult:
     """Run one randomized chaos scenario under ``seed``.
 
     The same seed drives the workload, the message faults, and the site
     fault schedule (via independent named streams), so a (seed, plan,
     shape) triple replays byte-identically.
+
+    Pass an enabled :class:`~repro.obs.sink.TraceSink` as ``trace`` to
+    capture the run's structured trace (repro.obs); tracing is pure
+    observation and does not perturb the simulation.
     """
     if plan is None:
         plan = FaultPlan()
@@ -166,6 +174,8 @@ def run_chaos_seed(
         timeouts_enabled=plan.lossy_core,
     )
     cluster = Cluster(config)
+    if trace is not None:
+        cluster.network.obs = trace
     if mutate:
         neuter_faillocks(cluster)
     injector = FaultInjector(plan, cluster.rng.stream("chaos.faults"))

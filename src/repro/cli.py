@@ -10,8 +10,15 @@ Commands map one-to-one onto the paper's artifacts:
 ``ablations``    A1-A6 design-choice studies
 ``concurrent``   the "complete RAID" open-loop sweep (A8)
 ``chaos``        randomized fault injection + invariant audit seed sweep
+``trace``        record/inspect structured run traces (repro.obs)
 ``report``       regenerate EXPERIMENTS.md (everything above)
 ===============  =======================================================
+
+``trace`` has its own subcommands: ``record`` (trace an experiment preset
+or a chaos seed into a run directory), ``show`` (phase-attributed timeline
+of one transaction), ``list`` (per-transaction run summary), ``cat``
+(filtered raw events), ``diff`` (compare two exported runs), and
+``validate`` (schema-check a run directory).  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -215,6 +222,104 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if report.total_violations > 0 else 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.obs import record_chaos, record_experiment
+
+    out = Path(args.out)
+    try:
+        if args.chaos_seed is not None:
+            manifest = record_chaos(
+                args.chaos_seed,
+                out_dir=out,
+                sites=args.sites,
+                db_size=args.db,
+                txns=args.txns,
+                lossy_core=args.lossy_core,
+            )
+        else:
+            manifest = record_experiment(args.exp, seed=args.seed, out_dir=out)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"recorded {manifest['scenario']} (seed {manifest['seed']}): "
+        f"{manifest['events']} events, {len(manifest['transactions'])} txns, "
+        f"{manifest['sim_time_ms']:.1f} ms simulated -> {out}/"
+    )
+    if manifest["violations"]:
+        print(f"VIOLATIONS: {len(manifest['violations'])}")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.format import show_txn
+
+    print(show_txn(Path(args.dir), args.txn, tree=args.tree))
+    return 0
+
+
+def _cmd_trace_list(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.format import render_run_summary
+
+    print(render_run_summary(Path(args.dir)))
+    return 0
+
+
+def _cmd_trace_cat(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import load_events
+    from repro.obs.format import filter_events
+
+    events = filter_events(
+        load_events(Path(args.dir)),
+        txn=args.txn,
+        kind=args.kind,
+        site=args.site,
+    )
+    shown = events if args.limit is None else events[: args.limit]
+    for event in shown:
+        print(event.describe())
+    if len(events) > len(shown):
+        print(f"... {len(events) - len(shown)} more events (raise --limit)")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.format import diff_runs
+
+    problems = diff_runs(Path(args.dir_a), Path(args.dir_b))
+    if not problems:
+        print(f"identical: {args.dir_a} == {args.dir_b}")
+        return 0
+    for problem in problems:
+        print(problem)
+    return 1
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import validate_run_dir
+
+    problems = validate_run_dir(Path(args.dir))
+    if not problems:
+        print(f"ok: {args.dir} is schema-valid")
+        return 0
+    for problem in problems:
+        print(f"SCHEMA: {problem}")
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -287,6 +392,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--output", default=None, help="write report to file")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="record/inspect structured run traces (repro.obs)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="trace an experiment preset or chaos seed"
+    )
+    record.add_argument(
+        "--exp", choices=["1", "2", "3", "smoke"], default="1",
+        help="experiment preset to trace (ignored with --chaos-seed)",
+    )
+    record.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="trace one chaos seed instead of an experiment preset",
+    )
+    record.add_argument(
+        "--lossy-core", action="store_true",
+        help="with --chaos-seed: fault all message types (silent drops) "
+        "and run the retransmission + timeout layers",
+    )
+    record.add_argument("--sites", type=int, default=4,
+                        help="chaos only: database sites")
+    record.add_argument("--db", type=int, default=32,
+                        help="chaos only: data items")
+    record.add_argument("--txns", type=int, default=60,
+                        help="chaos only: transactions")
+    record.add_argument("--out", default="run", help="run directory to write")
+    record.set_defaults(fn=_cmd_trace_record)
+
+    show = trace_sub.add_parser(
+        "show", help="phase-attributed timeline of one transaction"
+    )
+    show.add_argument("txn", type=int, help="transaction id")
+    show.add_argument("--dir", default="run", help="exported run directory")
+    show.add_argument(
+        "--tree", action="store_true", help="also print the causal event tree"
+    )
+    show.set_defaults(fn=_cmd_trace_show)
+
+    lst = trace_sub.add_parser("list", help="per-transaction run summary")
+    lst.add_argument("--dir", default="run", help="exported run directory")
+    lst.set_defaults(fn=_cmd_trace_list)
+
+    cat = trace_sub.add_parser("cat", help="print (filtered) raw events")
+    cat.add_argument("--dir", default="run", help="exported run directory")
+    cat.add_argument("--txn", type=int, default=None, help="filter by txn id")
+    cat.add_argument(
+        "--kind", default=None, help="filter by event kind (e.g. msg.drop)"
+    )
+    cat.add_argument("--site", type=int, default=None, help="filter by site")
+    cat.add_argument("--limit", type=int, default=200, help="max events shown")
+    cat.set_defaults(fn=_cmd_trace_cat)
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare two exported runs (exit 1 on divergence)"
+    )
+    diff.add_argument("dir_a", help="first run directory")
+    diff.add_argument("dir_b", help="second run directory")
+    diff.set_defaults(fn=_cmd_trace_diff)
+
+    validate = trace_sub.add_parser(
+        "validate", help="schema-check a run directory (exit 1 on problems)"
+    )
+    validate.add_argument("--dir", default="run", help="exported run directory")
+    validate.set_defaults(fn=_cmd_trace_validate)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")

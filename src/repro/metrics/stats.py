@@ -55,7 +55,10 @@ def percentile(values: Sequence[float], p: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    result = ordered[low] * (1 - frac) + ordered[high] * frac
+    # Subnormal inputs can underflow the interpolation to 0.0, landing
+    # outside the bracketing samples; clamp back into their range.
+    return min(max(result, ordered[low]), ordered[high])
 
 
 @dataclass(slots=True, frozen=True)

@@ -6,7 +6,11 @@ channels between registered endpoints — plus the pieces the paper's testbed
 had implicitly: a latency/cost model for each communication (measured at
 9 ms per inter-site message in mini-RAID), partition injection for the
 network-partition scenarios the protocol is designed to survive, and a
-message trace for debugging and metrics.
+message trace for debugging and metrics.  The network also owns the run's
+structured-trace sink (:class:`repro.obs.sink.TraceSink`, off by
+default): with ``cluster.obs.enabled = True`` every send, delivery, drop,
+and handler activation is recorded with causal parent links — see
+:mod:`repro.obs` and docs/OBSERVABILITY.md.
 
 When the network itself is allowed to lose messages (the chaos layer's
 ``lossy_core`` mode), :mod:`repro.net.reliable` rebuilds the reliable

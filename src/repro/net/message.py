@@ -85,6 +85,10 @@ class Message:
     # sublayer (repro.net.reliable); -1 means the message is untracked
     # (reliability disabled, or transport-internal traffic).
     seq: int = -1
+    # Causal handle for repro.obs: the trace-event seq of whatever caused
+    # this message (the queueing activation's scope, then the msg.send
+    # event once transmitted).  -1 with tracing disabled.
+    trace_ref: int = -1
 
     def __repr__(self) -> str:
         return (

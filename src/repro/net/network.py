@@ -26,6 +26,8 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message, MessageType
 from repro.net.partition import PartitionManager
 from repro.net.trace import MessageTrace
+from repro.obs.events import EventKind
+from repro.obs.sink import TraceSink
 from repro.sim.cpu import CpuResource
 from repro.sim.rng import DeterministicRng
 from repro.sim.scheduler import EventScheduler
@@ -109,6 +111,10 @@ class Network:
         # delivery order (online invariant auditing).
         self.delivery_probes: list[Callable[[Message], None]] = []
         self.trace = trace if trace is not None else MessageTrace()
+        # Structured tracing (repro.obs).  Disabled by default: every emit
+        # site guards on ``obs.enabled``, and tracing never touches the
+        # scheduler, CPU, or RNG, so enabling it cannot change a run.
+        self.obs = TraceSink()
         self._endpoints: dict[int, Endpoint] = {}
         self._latency_rng = rng.stream("net.latency")
         self._fifo_last: dict[tuple[int, int], float] = {}
@@ -165,11 +171,19 @@ class Network:
         )
 
     def _run_activation(
-        self, endpoint: Endpoint, fn: Callable[[HandlerContext], None]
+        self,
+        endpoint: Endpoint,
+        fn: Callable[[HandlerContext], None],
+        parent: int = -1,
     ) -> None:
+        obs = self.obs
+        if obs.enabled:
+            obs.scope = parent
         ctx = HandlerContext(self, endpoint)
         fn(ctx)
         self._finish_activation(ctx)
+        if obs.enabled:
+            obs.scope = -1
 
     def _finish_activation(self, ctx: HandlerContext) -> None:
         endpoint = ctx.endpoint
@@ -177,6 +191,13 @@ class Network:
         outbox = list(ctx.outbox)
         timers = list(ctx.timers)
         completions = list(ctx.completions)
+        # Causality: everything this activation queued — messages released
+        # later, timers firing later — is caused by the activation's scope
+        # event, which must be captured *now* (release runs after the CPU
+        # work completes, under someone else's scope).
+        scope = self.obs.scope if self.obs.enabled else -1
+        for msg in outbox:
+            msg.trace_ref = scope
 
         def release() -> None:
             release_time = self.scheduler.now
@@ -185,7 +206,7 @@ class Network:
             for delay, timer_fn in timers:
                 self.scheduler.schedule(
                     delay,
-                    lambda f=timer_fn: self._run_activation(endpoint, f),
+                    lambda f=timer_fn: self._run_activation(endpoint, f, parent=scope),
                     label=f"timer@{endpoint.site_id}",
                 )
             for done_fn in completions:
@@ -200,10 +221,23 @@ class Network:
         self.messages_sent += 1
         if msg.dst not in self._endpoints:
             raise UnknownSiteError(f"message to unregistered site {msg.dst}: {msg}")
+        if self.obs.enabled:
+            # The send event becomes the message's causal handle: the
+            # receive (or drop) it leads to parents itself here.
+            msg.trace_ref = self.obs.emit(
+                release_time,
+                EventKind.MSG_SEND,
+                site=msg.src,
+                txn=msg.txn_id,
+                parent=msg.trace_ref,
+                mtype=msg.mtype.value,
+                dst=msg.dst,
+            )
         exempt = msg.src in self.partition_exempt or msg.dst in self.partition_exempt
         if not exempt and not self.partitions.connected(msg.src, msg.dst):
             self.messages_undeliverable += 1
             self.trace.record(msg, delivered=False, reason="partitioned")
+            self._obs_drop(msg, "partitioned")
             # A partition is a *detectable* severance: stop any
             # retransmission and unblock the channel slot.
             if self.reliable is not None:
@@ -222,8 +256,10 @@ class Network:
                 # retransmission sublayer can recover the message — silent
                 # drops are only injected when it is installed.
                 self.trace.record(msg, delivered=False, reason="chaos-drop-silent")
+                self._obs_drop(msg, "chaos-drop-silent")
                 return
             self.trace.record(msg, delivered=False, reason="chaos-drop")
+            self._obs_drop(msg, "chaos-drop")
             if self.reliable is not None:
                 self.reliable.cancel(msg)
             self._notify_sender_failure(msg)
@@ -254,6 +290,19 @@ class Network:
         if fate is not None and fate.duplicate:
             self._transmit_duplicate(msg, release_time, deliver_at + fate.duplicate_gap)
 
+    def _obs_drop(self, msg: Message, reason: str) -> None:
+        """Emit the msg.drop trace event for an undeliverable message."""
+        if self.obs.enabled:
+            self.obs.emit(
+                self.scheduler.now,
+                EventKind.MSG_DROP,
+                site=msg.dst,
+                txn=msg.txn_id,
+                parent=msg.trace_ref,
+                mtype=msg.mtype.value,
+                reason=reason,
+            )
+
     def _transmit_duplicate(
         self, msg: Message, release_time: float, deliver_at: float
     ) -> None:
@@ -268,6 +317,17 @@ class Network:
             seq=msg.seq,  # the receiver-side dedup window catches the copy
         )
         dup.send_time = release_time
+        if self.obs.enabled:
+            dup.trace_ref = self.obs.emit(
+                release_time,
+                EventKind.MSG_SEND,
+                site=dup.src,
+                txn=dup.txn_id,
+                parent=msg.trace_ref,
+                mtype=dup.mtype.value,
+                dst=dup.dst,
+                duplicate=True,
+            )
         self.messages_sent += 1
         channel = (dup.src, dup.dst)
         deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
@@ -287,6 +347,7 @@ class Network:
             if not endpoint.alive or self.reliable is None:
                 self.messages_undeliverable += 1
                 self.trace.record(msg, delivered=False, reason="site down")
+                self._obs_drop(msg, "site-down")
                 return
             self.messages_delivered += 1
             self.trace.record(msg, delivered=True)
@@ -295,6 +356,7 @@ class Network:
         if not endpoint.alive and msg.mtype not in _DELIVER_WHEN_DOWN:
             self.messages_undeliverable += 1
             self.trace.record(msg, delivered=False, reason="site down")
+            self._obs_drop(msg, "site-down")
             if self.reliable is not None:
                 self.reliable.cancel(msg)
             self._notify_sender_failure(msg)
@@ -304,6 +366,16 @@ class Network:
             if status == "dup":
                 self.messages_undeliverable += 1
                 self.trace.record(msg, delivered=False, reason="transport-dedup")
+                if self.obs.enabled:
+                    self.obs.emit(
+                        self.scheduler.now,
+                        EventKind.MSG_DUP,
+                        site=msg.dst,
+                        txn=msg.txn_id,
+                        parent=msg.trace_ref,
+                        mtype=msg.mtype.value,
+                        seq=msg.seq,
+                    )
             for ready in deliverable:
                 self._deliver_to_endpoint(ready)
             return
@@ -316,16 +388,33 @@ class Network:
             # The site died while the message sat in the reorder buffer.
             self.messages_undeliverable += 1
             self.trace.record(msg, delivered=False, reason="site down")
+            self._obs_drop(msg, "site-down")
             self._notify_sender_failure(msg)
             return
         self.messages_delivered += 1
         self.trace.record(msg, delivered=True)
+        obs = self.obs
+        if obs.enabled:
+            # The receive event scopes the delivery probes and the whole
+            # handler activation: every event emitted (and message queued)
+            # inside them parents here.
+            obs.scope = obs.emit(
+                self.scheduler.now,
+                EventKind.MSG_RECV,
+                site=msg.dst,
+                txn=msg.txn_id,
+                parent=msg.trace_ref,
+                mtype=msg.mtype.value,
+                src=msg.src,
+            )
         for probe in self.delivery_probes:
             probe(msg)
         ctx = HandlerContext(self, endpoint)
         ctx.charge(self.msg_recv_cost)
         endpoint.handle(ctx, msg)
         self._finish_activation(ctx)
+        if obs.enabled:
+            obs.scope = -1
 
     def _notify_sender_failure(self, msg: Message) -> None:
         if msg.mtype is MessageType.NET_ACK:

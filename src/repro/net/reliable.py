@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.message import Message, MessageType
+from repro.obs.events import EventKind
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -139,6 +140,22 @@ class ReliableDelivery:
     message (:meth:`track`), when a tracked message physically arrives
     (:meth:`on_arrival`), and when a tracked message becomes permanently
     undeliverable — destination down or partitioned (:meth:`cancel`).
+
+    Usage — normally switched on through configuration rather than built
+    by hand::
+
+        config = SystemConfig(reliable_delivery=True, timeouts_enabled=True)
+        cluster = Cluster(config)          # installs the sublayer
+        ...
+        cluster.network.reliable.stats     # retransmissions, dedup, give-ups
+
+    or attached to a bare :class:`~repro.net.network.Network`::
+
+        net.reliable = ReliableDelivery(net, RetransmitPolicy(rto_ms=40.0))
+
+    The sublayer defaults OFF: with ``reliable_delivery=False`` (the stock
+    configuration) the network behaves byte-identically to a build without
+    this module, which is what keeps the paper-experiment seeds stable.
     """
 
     def __init__(self, network: "Network", policy: Optional[RetransmitPolicy] = None) -> None:
@@ -198,12 +215,24 @@ class ReliableDelivery:
             # A dead sender retransmits nothing; its state is gone.
             self._pending.pop(key, None)
             return
+        obs = self.network.obs
         if pending.attempts >= self.policy.max_retries:
             # The destination has ignored every attempt: report it
             # genuinely unreachable through the ordinary failure-notice
             # path (the protocol's Appendix-A branches take it from here).
             self._pending.pop(key, None)
             self.stats.gave_up += 1
+            if obs.enabled:
+                obs.emit(
+                    self.network.scheduler.now,
+                    EventKind.MSG_GIVEUP,
+                    site=msg.src,
+                    txn=msg.txn_id,
+                    parent=msg.trace_ref,
+                    mtype=msg.mtype.value,
+                    dst=msg.dst,
+                    attempts=pending.attempts,
+                )
             self._skip_at_receiver(msg)
             self.network._notify_sender_failure(msg)
             return
@@ -218,6 +247,17 @@ class ReliableDelivery:
             session=msg.session,
             seq=msg.seq,
         )
+        if obs.enabled:
+            clone.trace_ref = obs.emit(
+                self.network.scheduler.now,
+                EventKind.MSG_RETRANSMIT,
+                site=msg.src,
+                txn=msg.txn_id,
+                parent=msg.trace_ref,
+                mtype=msg.mtype.value,
+                dst=msg.dst,
+                attempt=pending.attempts,
+            )
         pending.msg = clone
         self._arm_timer(pending)
         self.network._transmit(clone, self.network.scheduler.now)
@@ -288,6 +328,8 @@ class ReliableDelivery:
             mtype=MessageType.NET_ACK,
             payload={"seq": msg.seq},
             txn_id=msg.txn_id,
+            # Trace the ack as caused by the send it acknowledges.
+            trace_ref=msg.trace_ref,
         )
         self.network._transmit(ack, self.network.scheduler.now)
 

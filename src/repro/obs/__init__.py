@@ -1,0 +1,60 @@
+"""repro.obs — structured tracing, causal timelines, and run artifacts.
+
+The observability layer for the reproduction.  One ring-buffered
+:class:`~repro.obs.sink.TraceSink` hangs off the network; every layer
+(network transport, reliable sublayer, 2PC coordinator/participant,
+copier and control transactions, fail-lock machinery, chaos auditor)
+emits typed :class:`~repro.obs.events.TraceEvent`\\ s with simulated time,
+site, transaction id, and a causal parent.  Tracing is pure observation —
+it never touches the scheduler, CPU model, or RNG — so enabling it cannot
+change a run, and a disabled sink costs one boolean check per event site.
+
+Typical use::
+
+    cluster = Cluster(config)
+    cluster.obs.enabled = True
+    cluster.run(scenario)
+    timelines = build_timelines(cluster.obs)      # phase attribution
+    export_run(Path("run"), cluster.obs, ...)     # run.json + JSONL + Chrome
+
+or, from the command line::
+
+    repro trace record --exp 1 --out run/
+    repro trace show 17 --dir run/
+    repro trace cat --dir run/ --kind msg.retransmit
+
+See docs/OBSERVABILITY.md for the event taxonomy and the phase
+attribution rules.
+"""
+
+from repro.obs.events import EventKind, TraceEvent
+from repro.obs.export import export_run, load_events, load_manifest, to_chrome_trace
+from repro.obs.record import record_chaos, record_experiment
+from repro.obs.schema import validate_events_jsonl, validate_run_dir
+from repro.obs.sink import TraceSink
+from repro.obs.timeline import (
+    PhaseSpan,
+    TxnTimeline,
+    build_timeline,
+    build_timelines,
+    derive_txn_summaries,
+)
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "TraceSink",
+    "PhaseSpan",
+    "TxnTimeline",
+    "build_timeline",
+    "build_timelines",
+    "derive_txn_summaries",
+    "export_run",
+    "load_events",
+    "load_manifest",
+    "to_chrome_trace",
+    "record_experiment",
+    "record_chaos",
+    "validate_events_jsonl",
+    "validate_run_dir",
+]

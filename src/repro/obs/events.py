@@ -1,0 +1,127 @@
+"""Trace event vocabulary.
+
+Every significant thing the simulated system does — a message leaving or
+arriving, a 2PC phase boundary, a fail-lock update, a termination-protocol
+probe, an invariant violation — is one typed :class:`TraceEvent`.  The
+taxonomy (see docs/OBSERVABILITY.md) is deliberately flat and small: each
+kind names *what happened*, the ``args`` dict carries the kind-specific
+detail, and ``parent`` links the event to the event that caused it (the
+message-receive that started the activation, the send that produced the
+receive, ...), giving every transaction a causal tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class EventKind(enum.Enum):
+    """Every trace event type the system emits.
+
+    The string values are the wire names used in exported JSONL streams;
+    they are part of the artifact schema (``repro.obs.schema``) and must
+    only ever be extended, never renamed.
+    """
+
+    # -- network (repro.net) ------------------------------------------------
+    MSG_SEND = "msg.send"            # a message released onto the wire
+    MSG_RECV = "msg.recv"            # delivered to an endpoint's handler
+    MSG_DROP = "msg.drop"            # undeliverable (reason in args)
+    MSG_DUP = "msg.dup"              # arrival suppressed by transport dedup
+    MSG_RETRANSMIT = "msg.retransmit"  # reliable-sublayer timer resend
+    MSG_GIVEUP = "msg.giveup"        # retry cap hit -> unreachable report
+
+    # -- transaction lifecycle at the coordinator (repro.site.coordinator) --
+    TXN_SUBMIT = "txn.submit"        # managing site picked a coordinator
+    TXN_BEGIN = "txn.begin"          # coordinator received the transaction
+    LOCK_GRANT = "txn.lock_grant"    # all site-local locks granted
+    COPIER_BEGIN = "txn.copier_begin"  # copier exchange(s) issued
+    COPIER_END = "txn.copier_end"    # all copier responses installed
+    PHASE1_BEGIN = "txn.phase1"      # VOTE_REQs shipped (2PC phase one)
+    PHASE2_BEGIN = "txn.phase2"      # COMMITs shipped (2PC phase two)
+    TXN_COMMIT = "txn.commit"        # coordinator committed locally
+    TXN_ABORT = "txn.abort"          # coordinator aborted (reason in args)
+    TXN_END = "txn.end"              # measured window closed; elapsed final
+
+    # -- participant side (repro.site.participant) --------------------------
+    PART_STAGE = "part.stage"        # phase-1 updates buffered + acked
+    COMMIT_APPLIED = "commit.applied"  # a site applied committed updates
+    TERM_PROBE = "term.probe"        # TXN_STATUS_REQ inquiry round started
+    TERM_RESULT = "term.result"      # inquiry resolved (status in args)
+
+    # -- concurrency control (repro.site.locking) ---------------------------
+    LOCK_BLOCK = "lock.block"        # a lock request parked on a conflict
+
+    # -- fail-locks and the session machinery (repro.core / repro.site) -----
+    FAILLOCK_UPDATE = "faillock.update"  # commit-time maintenance ran
+    FAILLOCK_SET = "faillock.set"    # corrective sets (type-2 / cold path)
+    FAILLOCK_CLEAR = "faillock.clear"  # a clear notice applied
+    SITE_FAIL = "site.fail"          # a site crashed
+    SITE_RECOVER = "site.recover"    # type-1 begun; new session in args
+    SITE_RECOVER_DONE = "site.recover_done"  # type-1 complete
+    NSV_MARK_DOWN = "nsv.mark_down"  # session vector marked a peer down
+    NSV_MARK_UP = "nsv.mark_up"      # session vector marked a peer up
+
+    # -- chaos auditing (repro.chaos.invariants) ----------------------------
+    VIOLATION = "chaos.violation"    # an audited invariant was broken
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Wire-name -> kind lookup used by the artifact loaders.
+KIND_BY_VALUE: dict[str, EventKind] = {kind.value: kind for kind in EventKind}
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One observed event.
+
+    ``seq`` is a run-global monotone id (also the causal handle other
+    events reference via ``parent``); ``t`` is simulated milliseconds;
+    ``site`` is the site where the event happened (-1 for system-level
+    events); ``txn`` ties the event to a transaction (-1 when none);
+    ``parent`` is the ``seq`` of the causing event (-1 for roots).
+    """
+
+    seq: int
+    t: float
+    kind: EventKind
+    site: int = -1
+    txn: int = -1
+    parent: int = -1
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-serializable form used in exported JSONL streams."""
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind.value,
+            "site": self.site,
+            "txn": self.txn,
+            "parent": self.parent,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from its exported JSON form."""
+        return cls(
+            seq=obj["seq"],
+            t=obj["t"],
+            kind=KIND_BY_VALUE[obj["kind"]],
+            site=obj["site"],
+            txn=obj["txn"],
+            parent=obj["parent"],
+            args=dict(obj["args"]),
+        )
+
+    def describe(self) -> str:
+        """One deterministic human-readable line (CLI ``trace cat``)."""
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.args.items()))
+        where = f"site {self.site}" if self.site >= 0 else "system"
+        txn = f" txn {self.txn}" if self.txn >= 0 else ""
+        return f"t={self.t:10.3f}  #{self.seq:<6d} {where:>8}{txn:<8} {self.kind.value:<18} {detail}"

@@ -1,0 +1,155 @@
+"""Recording presets: trace a canned experiment or a chaos seed.
+
+``repro trace record`` calls into here.  Each preset builds a fresh
+cluster, enables its :class:`~repro.obs.sink.TraceSink`, runs a scenario
+shaped like one of the paper's experiments (shrunk enough that recording
+is fast but every interesting path — failure, recovery, copiers,
+fail-lock clearing — still fires), and exports the run directory via
+:func:`repro.obs.export.export_run`.
+
+Presets:
+
+* ``1`` — Experiment 1's copier scenario: 4 sites, site 0 fails, misses
+  updates, recovers, then coordinates; its reads of fail-locked copies
+  generate copier transactions (the paper's §2.2.3 measurement).
+* ``2`` — Experiment 2's recovery-tail shape: 2 sites, site 0 down for a
+  block of transactions, then recovering until its fail-locks drain.
+* ``3`` — Experiment 3 scenario 2: 4 sites failing singly in succession.
+* ``smoke`` — a tiny 3-site fail/recover run for CI.
+
+``record_chaos`` instead traces one :func:`repro.chaos.runner.run_chaos_seed`
+run, so invariant violations land in the stream with causal context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.obs.export import export_run
+from repro.obs.sink import TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.system.config import SystemConfig
+    from repro.system.scenario import Scenario
+
+EXPERIMENT_PRESETS = ("1", "2", "3", "smoke")
+
+
+def _scenario_for(exp: str, seed: int) -> "tuple[SystemConfig, Scenario]":
+    # Imported here, not at module top: repro.net imports repro.obs.events
+    # during its own init, which initializes this package — a top-level
+    # import of repro.system here would close that cycle.
+    from repro.system.config import SystemConfig
+    from repro.system.scenario import FailSite, RecoverSite, Scenario, Weighted
+    from repro.workload.uniform import UniformWorkload
+    if exp == "1":
+        config = SystemConfig.paper_experiment1(seed=seed)
+        scenario = Scenario(
+            workload=UniformWorkload(config.item_ids, config.max_txn_size),
+            txn_count=80,
+            policy=Weighted({0: 1.0, 1: 0.001, 2: 0.001, 3: 0.001}),
+            until_recovered=(0,),
+            max_txns=1000,
+        )
+        scenario.add_action(3, FailSite(0))
+        scenario.add_action(20, RecoverSite(0))
+    elif exp == "2":
+        config = SystemConfig.paper_experiment2(seed=seed)
+        scenario = Scenario(
+            workload=UniformWorkload(config.item_ids, config.max_txn_size),
+            txn_count=60,
+            until_recovered=(0,),
+            max_txns=1000,
+        )
+        scenario.add_action(1, FailSite(0))
+        scenario.add_action(31, RecoverSite(0))
+    elif exp == "3":
+        config = SystemConfig.paper_experiment3_scenario2(seed=seed)
+        scenario = Scenario(
+            workload=UniformWorkload(config.item_ids, config.max_txn_size),
+            txn_count=60,
+            until_recovered=(0, 1, 2, 3),
+            max_txns=1000,
+        )
+        for site in range(4):
+            scenario.add_action(10 * site + 1, FailSite(site))
+            scenario.add_action(10 * (site + 1) + 1, RecoverSite(site))
+    elif exp == "smoke":
+        config = SystemConfig(db_size=12, num_sites=3, max_txn_size=4, seed=seed)
+        scenario = Scenario(
+            workload=UniformWorkload(config.item_ids, config.max_txn_size),
+            txn_count=12,
+            until_recovered=(0,),
+            max_txns=500,
+        )
+        scenario.add_action(2, FailSite(0))
+        scenario.add_action(8, RecoverSite(0))
+    else:
+        raise ConfigurationError(
+            f"unknown experiment preset {exp!r} (choose from {EXPERIMENT_PRESETS})"
+        )
+    return config, scenario
+
+
+def record_experiment(
+    exp: str, *, seed: int = 42, out_dir: Path
+) -> dict[str, Any]:
+    """Trace one experiment preset and export its run directory."""
+    from repro.system.cluster import Cluster
+
+    config, scenario = _scenario_for(exp, seed)
+    cluster = Cluster(config)
+    sink = cluster.obs
+    sink.enabled = True
+    cluster.run(scenario)
+    return export_run(
+        Path(out_dir),
+        sink,
+        scenario=f"exp{exp}",
+        seed=seed,
+        sites=config.num_sites,
+        db_size=config.db_size,
+        sim_time_ms=cluster.now,
+    )
+
+
+def record_chaos(
+    chaos_seed: int,
+    *,
+    out_dir: Path,
+    sites: int = 4,
+    db_size: int = 32,
+    txns: int = 60,
+    lossy_core: bool = False,
+) -> dict[str, Any]:
+    """Trace one chaos seed (faults + auditing on) and export it."""
+    from repro.chaos.faults import FaultPlan
+    from repro.chaos.runner import run_chaos_seed
+
+    plan = FaultPlan.lossy() if lossy_core else FaultPlan()
+    sink = TraceSink(enabled=True)
+    result = run_chaos_seed(
+        chaos_seed,
+        sites=sites,
+        db_size=db_size,
+        txns=txns,
+        plan=plan,
+        trace=sink,
+    )
+    violations = [
+        {str(k): v for k, v in asdict(record).items()}
+        for record in result.violations
+    ]
+    return export_run(
+        Path(out_dir),
+        sink,
+        scenario=f"chaos-{'lossy' if lossy_core else 'conservative'}",
+        seed=chaos_seed,
+        sites=sites,
+        db_size=db_size,
+        sim_time_ms=result.sim_time_ms,
+        violations=violations,
+    )

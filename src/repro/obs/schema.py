@@ -1,0 +1,165 @@
+"""Schema validation for exported trace artifacts.
+
+The exporters (``repro.obs.export``) write three files per run directory:
+
+* ``run.json`` — run manifest (schema id ``repro.obs.run/1``),
+* ``events.jsonl`` — one :class:`~repro.obs.events.TraceEvent` wire dict
+  per line, ``seq``-ordered,
+* ``trace.json`` — Chrome ``trace_event`` format for Perfetto.
+
+This module validates the first two with plain Python (no external
+dependencies are available in this environment) and is what CI's
+``repro trace validate`` smoke runs against.  Each problem is reported as
+a human-readable string; an empty list means the artifact is valid.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import KIND_BY_VALUE
+
+RUN_SCHEMA_ID = "repro.obs.run/1"
+
+# Exact key set of one events.jsonl record (TraceEvent.to_wire()).
+_EVENT_KEYS = {"seq", "t", "kind", "site", "txn", "parent", "args"}
+
+# Required manifest keys and their expected types.
+_RUN_KEYS: dict[str, type | tuple[type, ...]] = {
+    "schema": str,
+    "scenario": str,
+    "seed": int,
+    "sites": int,
+    "db_size": int,
+    "sim_time_ms": (int, float),
+    "events": int,
+    "dropped_events": int,
+    "counters": dict,
+    "transactions": list,
+    "violations": list,
+}
+
+
+def validate_event(obj: Any, prev_seq: int = -1) -> list[str]:
+    """Problems with one decoded events.jsonl record (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"event is not an object: {type(obj).__name__}"]
+    keys = set(obj)
+    if keys != _EVENT_KEYS:
+        missing = sorted(_EVENT_KEYS - keys)
+        extra = sorted(keys - _EVENT_KEYS)
+        if missing:
+            problems.append(f"missing keys: {missing}")
+        if extra:
+            problems.append(f"unexpected keys: {extra}")
+        return problems
+    if not isinstance(obj["seq"], int) or obj["seq"] < 0:
+        problems.append(f"seq must be a non-negative int: {obj['seq']!r}")
+    elif obj["seq"] <= prev_seq:
+        problems.append(
+            f"seq not strictly increasing: {obj['seq']} after {prev_seq}"
+        )
+    if not isinstance(obj["t"], (int, float)) or obj["t"] < 0:
+        problems.append(f"t must be a non-negative number: {obj['t']!r}")
+    if obj["kind"] not in KIND_BY_VALUE:
+        problems.append(f"unknown event kind: {obj['kind']!r}")
+    for key in ("site", "txn"):
+        if not isinstance(obj[key], int):
+            problems.append(f"{key} must be an int: {obj[key]!r}")
+    parent = obj["parent"]
+    if not isinstance(parent, int) or parent < -1:
+        problems.append(f"parent must be an int >= -1: {parent!r}")
+    elif isinstance(obj["seq"], int) and parent >= obj["seq"]:
+        problems.append(
+            f"parent must reference an earlier event: {parent} >= {obj['seq']}"
+        )
+    if not isinstance(obj["args"], dict):
+        problems.append(f"args must be an object: {obj['args']!r}")
+    return problems
+
+
+def validate_events_jsonl(path: Path) -> list[str]:
+    """Problems with an events.jsonl stream (empty = valid)."""
+    problems: list[str] = []
+    prev_seq = -1
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                problems.append(f"line {lineno}: blank line")
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            for problem in validate_event(obj, prev_seq):
+                problems.append(f"line {lineno}: {problem}")
+            if isinstance(obj, dict) and isinstance(obj.get("seq"), int):
+                prev_seq = obj["seq"]
+    return problems
+
+
+def validate_run_manifest(obj: Any) -> list[str]:
+    """Problems with a decoded run.json manifest (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"manifest is not an object: {type(obj).__name__}"]
+    for key, expected in _RUN_KEYS.items():
+        if key not in obj:
+            problems.append(f"missing key: {key}")
+        elif not isinstance(obj[key], expected):
+            problems.append(
+                f"{key} has wrong type: {type(obj[key]).__name__}"
+            )
+    if obj.get("schema") not in (None, RUN_SCHEMA_ID):
+        problems.append(f"unknown schema id: {obj.get('schema')!r}")
+    return problems
+
+
+def validate_run_dir(run_dir: Path) -> list[str]:
+    """Validate a whole exported run directory (empty = valid).
+
+    Checks presence of all three artifacts, validates run.json and
+    events.jsonl, and cross-checks the manifest's event count against
+    the stream.
+    """
+    run_dir = Path(run_dir)
+    problems: list[str] = []
+    manifest_path = run_dir / "run.json"
+    events_path = run_dir / "events.jsonl"
+    chrome_path = run_dir / "trace.json"
+    for path in (manifest_path, events_path, chrome_path):
+        if not path.is_file():
+            problems.append(f"missing artifact: {path.name}")
+    if problems:
+        return problems
+
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"run.json: invalid JSON ({exc})"]
+    problems += [f"run.json: {p}" for p in validate_run_manifest(manifest)]
+
+    event_problems = validate_events_jsonl(events_path)
+    problems += [f"events.jsonl: {p}" for p in event_problems]
+    if not event_problems and isinstance(manifest, dict):
+        with events_path.open("r", encoding="utf-8") as fh:
+            n_events = sum(1 for _ in fh)
+        if manifest.get("events") != n_events:
+            problems.append(
+                "run.json: events count mismatch "
+                f"(manifest {manifest.get('events')}, stream {n_events})"
+            )
+
+    try:
+        chrome = json.loads(chrome_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        problems.append(f"trace.json: invalid JSON ({exc})")
+    else:
+        if not isinstance(chrome, dict) or "traceEvents" not in chrome:
+            problems.append("trace.json: missing traceEvents array")
+    return problems

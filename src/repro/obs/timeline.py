@@ -1,0 +1,214 @@
+"""Per-transaction causal timelines with phase attribution.
+
+A transaction's trace events at its coordinating site segment its measured
+window ``[txn.begin, txn.end]`` into contiguous, non-overlapping phases —
+so the phase durations *always* sum to the recorded coordinator elapsed
+time (the invariant ``tests/test_obs_timeline.py`` pins and the paper's
+§2 attribution methodology needs).
+
+Attribution rules (see docs/OBSERVABILITY.md for the worked example):
+
+=================  =====================================================
+phase              the time between ...
+=================  =====================================================
+``lock-wait``      ``txn.begin`` and ``txn.lock_grant`` (concurrent mode
+                   only; zero-length on the uncontended fast path)
+``local-exec``     any boundary and the next copier/phase-1 boundary —
+                   local reads, write staging, planning
+``copier``         ``txn.copier_begin`` and ``txn.copier_end`` (or the
+                   abort that cut the exchange short)
+``2pc-prepare``    ``txn.phase1`` and ``txn.phase2`` — shipping the copy
+                   updates and collecting votes
+``2pc-commit``     ``txn.phase2`` and ``txn.end`` — commit indications,
+                   acks, local commit processing, fail-lock maintenance,
+                   and the outcome report
+=================  =====================================================
+
+A transaction that never reaches a boundary simply has no such phase; the
+final segment is named after the last boundary crossed (an abort during
+the copier exchange ends inside ``copier``, a read-only transaction with
+no participants ends inside ``2pc-prepare``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.obs.events import EventKind, TraceEvent
+
+PHASE_LOCK_WAIT = "lock-wait"
+PHASE_LOCAL_EXEC = "local-exec"
+PHASE_COPIER = "copier"
+PHASE_PREPARE = "2pc-prepare"
+PHASE_COMMIT = "2pc-commit"
+
+# Display order of phases in timelines and exports.
+PHASE_ORDER = (
+    PHASE_LOCK_WAIT,
+    PHASE_LOCAL_EXEC,
+    PHASE_COPIER,
+    PHASE_PREPARE,
+    PHASE_COMMIT,
+)
+
+# Boundary event -> name of the phase the boundary *closes*.
+_CLOSES: dict[EventKind, str] = {
+    EventKind.LOCK_GRANT: PHASE_LOCK_WAIT,
+    EventKind.COPIER_BEGIN: PHASE_LOCAL_EXEC,
+    EventKind.COPIER_END: PHASE_COPIER,
+    EventKind.PHASE1_BEGIN: PHASE_LOCAL_EXEC,
+    EventKind.PHASE2_BEGIN: PHASE_PREPARE,
+}
+
+# Last-boundary-crossed -> name of the final segment (closed by txn.end).
+_FINAL: dict[EventKind, str] = {
+    EventKind.TXN_BEGIN: PHASE_LOCAL_EXEC,
+    EventKind.LOCK_GRANT: PHASE_LOCAL_EXEC,
+    EventKind.COPIER_BEGIN: PHASE_COPIER,
+    EventKind.COPIER_END: PHASE_LOCAL_EXEC,
+    EventKind.PHASE1_BEGIN: PHASE_PREPARE,
+    EventKind.PHASE2_BEGIN: PHASE_COMMIT,
+}
+
+
+@dataclass(slots=True)
+class PhaseSpan:
+    """One contiguous slice of a transaction's coordinator window."""
+
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class TxnTimeline:
+    """Everything the trace knows about one transaction."""
+
+    txn_id: int
+    coordinator: int
+    begin: float
+    end: float
+    committed: Optional[bool] = None   # None: no outcome event captured
+    abort_reason: str = ""
+    phases: list[PhaseSpan] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """The coordinator-measured window (== sum of the phases)."""
+        return self.end - self.begin
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total milliseconds per phase name, in display order."""
+        totals: dict[str, float] = {}
+        for span in self.phases:
+            totals[span.phase] = totals.get(span.phase, 0.0) + span.duration
+        return {
+            name: totals[name] for name in PHASE_ORDER if name in totals
+        }
+
+    def messages(self) -> int:
+        """Protocol messages sent on this transaction's behalf."""
+        return sum(1 for e in self.events if e.kind is EventKind.MSG_SEND)
+
+
+def build_timeline(events: list[TraceEvent]) -> Optional[TxnTimeline]:
+    """Build one transaction's timeline from *its* events (any order).
+
+    Returns None when the window is incomplete — no ``txn.begin`` or no
+    ``txn.end`` at the coordinating site (the transaction was in flight at
+    a stall, or the ring buffer evicted its start).
+    """
+    ordered = sorted(events, key=lambda e: e.seq)
+    begin = next((e for e in ordered if e.kind is EventKind.TXN_BEGIN), None)
+    if begin is None:
+        return None
+    coordinator = begin.site
+    end = next(
+        (
+            e
+            for e in ordered
+            if e.kind is EventKind.TXN_END and e.site == coordinator
+        ),
+        None,
+    )
+    if end is None:
+        return None
+    timeline = TxnTimeline(
+        txn_id=begin.txn,
+        coordinator=coordinator,
+        begin=begin.t,
+        end=end.t,
+        events=ordered,
+    )
+    for event in ordered:
+        if event.kind is EventKind.TXN_COMMIT and event.site == coordinator:
+            timeline.committed = True
+        elif event.kind is EventKind.TXN_ABORT and event.site == coordinator:
+            timeline.committed = False
+            timeline.abort_reason = str(event.args.get("reason", ""))
+
+    # Segment the window by the coordinator-site boundary events.
+    cursor = begin.t
+    last_kind = EventKind.TXN_BEGIN
+    for event in ordered:
+        if event.site != coordinator or event.seq <= begin.seq:
+            continue
+        if event.seq >= end.seq:
+            break
+        name = _CLOSES.get(event.kind)
+        if name is None:
+            continue
+        timeline.phases.append(PhaseSpan(phase=name, start=cursor, end=event.t))
+        cursor = event.t
+        last_kind = event.kind
+    timeline.phases.append(
+        PhaseSpan(phase=_FINAL[last_kind], start=cursor, end=end.t)
+    )
+    return timeline
+
+
+def build_timelines(events: Iterable[TraceEvent]) -> dict[int, TxnTimeline]:
+    """Timelines for every transaction with a complete window, by txn id."""
+    by_txn: dict[int, list[TraceEvent]] = {}
+    for event in events:
+        if event.txn >= 0:
+            by_txn.setdefault(event.txn, []).append(event)
+    timelines: dict[int, TxnTimeline] = {}
+    for txn_id, txn_events in sorted(by_txn.items()):
+        timeline = build_timeline(txn_events)
+        if timeline is not None:
+            timelines[txn_id] = timeline
+    return timelines
+
+
+def derive_txn_summaries(
+    events: Iterable[TraceEvent],
+) -> list[dict[str, object]]:
+    """Re-derive the per-transaction measurement rows from the trace alone.
+
+    This is the cross-check that the trace subsumes ``repro.metrics``'s
+    :class:`~repro.metrics.records.TxnRecord` timing content: for every
+    complete transaction window the returned dict carries the outcome and
+    the coordinator elapsed time, which tests compare against the metrics
+    collector's independently recorded rows.
+    """
+    rows: list[dict[str, object]] = []
+    for txn_id, timeline in sorted(build_timelines(events).items()):
+        rows.append(
+            {
+                "txn": txn_id,
+                "coordinator": timeline.coordinator,
+                "committed": timeline.committed,
+                "abort_reason": timeline.abort_reason,
+                "coordinator_elapsed": timeline.elapsed,
+                "phases": timeline.phase_totals(),
+                "messages": timeline.messages(),
+            }
+        )
+    return rows

@@ -24,6 +24,7 @@ from repro.core.rowaa import ReadSource
 from repro.metrics.records import CopierRecord
 from repro.net.endpoint import HandlerContext
 from repro.net.message import Message, MessageType
+from repro.obs.events import EventKind
 from repro.system.config import ClearNoticeMode, CopyControlStrategy
 from repro.txn.locks import LockMode
 from repro.txn.transaction import AbortReason, Transaction
@@ -72,6 +73,20 @@ class CoordinatorRole:
         txn.submitted_at = ctx.now
         state = CoordinatorState(txn=txn, started_at=ctx.now)
         self.active[txn.txn_id] = state
+        obs = site.network.obs
+        if obs.enabled:
+            # txn.begin is stamped at started_at, the same instant the
+            # elapsed-time window opens — the timeline's phase sums equal
+            # the recorded elapsed time because both share this anchor.
+            obs.emit(
+                ctx.now,
+                EventKind.TXN_BEGIN,
+                site=site.site_id,
+                txn=txn.txn_id,
+                size=txn.size,
+                reads=len(txn.read_items),
+                writes=len(txn.write_items),
+            )
         ctx.charge(costs.txn_base_cost + costs.op_execute_cost * txn.size)
 
         if site.lock_service is not None:
@@ -120,6 +135,16 @@ class CoordinatorRole:
     def _start_protocol(self, ctx: HandlerContext, state: CoordinatorState) -> None:
         site = self.site
         txn = state.txn
+        obs = site.network.obs
+        if obs.enabled:
+            # All site-local locks held (zero-length lock-wait phase in
+            # serial mode, where this runs in the begin activation).
+            obs.emit(
+                ctx.now,
+                EventKind.LOCK_GRANT,
+                site=site.site_id,
+                txn=txn.txn_id,
+            )
         reason = self._strategy_blocks(txn)
         if reason is not AbortReason.NONE:
             self._abort(ctx, state, reason)
@@ -177,6 +202,17 @@ class CoordinatorRole:
         for item, source in stale_reads:
             by_source.setdefault(source, []).append(item)
         self._copier_pending[txn_id] = by_source
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.COPIER_BEGIN,
+                site=site.site_id,
+                txn=txn_id,
+                sources=sorted(by_source),
+                items=len(stale_reads),
+                batch=batch,
+            )
         records = self._copier_records.setdefault(txn_id, [])
         for source, items in sorted(by_source.items()):
             ctx.charge(site.costs.copy_request_cost)
@@ -244,6 +280,15 @@ class CoordinatorRole:
         site = self.site
         self._copier_pending.pop(state.txn.txn_id, None)
         cleared = sorted(set(state.copier_items))
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.COPIER_END,
+                site=site.site_id,
+                txn=state.txn.txn_id,
+                refreshed=len(cleared),
+            )
         for record in self._copier_records.pop(state.txn.txn_id, []):
             site.metrics.record_copier(record)
         if cleared and site.config.clear_notice_mode is ClearNoticeMode.SPECIAL_TXN:
@@ -306,6 +351,15 @@ class CoordinatorRole:
             # Quorum voting involves every operational peer (reads need
             # version answers even when nothing is written).
             participants = site.nsv.operational_peers()
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.PHASE1_BEGIN,
+                site=site.site_id,
+                txn=txn.txn_id,
+                participants=sorted(participants),
+            )
         if not participants:
             state.begin_voting([])
             self._local_commit(ctx, state)
@@ -370,6 +424,15 @@ class CoordinatorRole:
         if state.record_vote(msg.src):
             state.begin_commit()
             version = self._commit_version(state)
+            obs = site.network.obs
+            if obs.enabled:
+                obs.emit(
+                    ctx.now,
+                    EventKind.PHASE2_BEGIN,
+                    site=site.site_id,
+                    txn=msg.txn_id,
+                    version=version,
+                )
             for peer in state.participants:
                 ctx.send(
                     peer,
@@ -472,6 +535,15 @@ class CoordinatorRole:
         updates = [(item, value, version) for item, value, _v in state.updates]
         site.commit_writes(ctx, txn.txn_id, updates, recipients=state.recipients)
         txn.mark_committed(ctx.now)
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.TXN_COMMIT,
+                site=site.site_id,
+                txn=txn.txn_id,
+                version=version,
+            )
         self._decided[txn.txn_id] = ("committed", version)
         state.finish()
         if site.lock_service is not None:
@@ -502,6 +574,15 @@ class CoordinatorRole:
                 record.finished_at = ctx.now
             site.metrics.record_copier(record)
         txn.mark_aborted(reason, ctx.now)
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.TXN_ABORT,
+                site=site.site_id,
+                txn=txn.txn_id,
+                reason=reason.value,
+            )
         self._decided[txn.txn_id] = ("aborted", -1)
         state.finish()
         if site.probe is not None:
@@ -517,9 +598,26 @@ class CoordinatorRole:
         txn = state.txn
         start = state.started_at
         clear_notices = self._clear_notice_counts.pop(txn.txn_id, 0)
+        obs = site.network.obs
+        # finalize() runs after the activation's CPU work completes, under
+        # someone else's scope — capture the causal parent now.
+        trace_parent = obs.scope if obs.enabled else -1
 
         def finalize() -> None:
             elapsed = site.network.scheduler.now - start
+            if obs.enabled:
+                # txn.end is emitted at the exact instant elapsed is
+                # computed, so the timeline window equals the recorded
+                # coordinator elapsed time by construction.
+                obs.emit(
+                    site.network.scheduler.now,
+                    EventKind.TXN_END,
+                    site=site.site_id,
+                    txn=txn.txn_id,
+                    parent=trace_parent,
+                    elapsed=elapsed,
+                    committed=txn.status.value == "committed",
+                )
             site.send_outcome(txn, elapsed, state.copiers_requested, clear_notices)
 
         ctx.on_done(finalize)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.net.endpoint import HandlerContext
+from repro.obs.events import EventKind
 from repro.txn.locks import LockManager, LockMode
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -80,6 +81,16 @@ class SiteLockService:
             self._parked[parked.txn_id] = parked
             if first:
                 self.parks += 1
+            obs = site.network.obs
+            if obs.enabled:
+                obs.emit(
+                    ctx.now,
+                    EventKind.LOCK_BLOCK,
+                    site=site.site_id,
+                    txn=parked.txn_id,
+                    item=item,
+                    waiting_for=sorted(grant.waiting_for),
+                )
             if self.detector is not None:
                 self.detector.block(
                     ctx, site.site_id, parked.txn_id, grant.waiting_for

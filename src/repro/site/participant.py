@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.core import copier as copier_mod
 from repro.net.endpoint import HandlerContext
 from repro.net.message import Message, MessageType
+from repro.obs.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.site.site import DatabaseSite
@@ -97,6 +98,16 @@ class ParticipantRole:
             return  # duplicate phase-1 delivery
         ctx.charge(site.costs.write_stage_cost * len(updates))
         site.db.stage(txn_id, updates)
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.PART_STAGE,
+                site=site.site_id,
+                txn=txn_id,
+                items=len(updates),
+                coordinator=msg.src,
+            )
         recipients = {
             int(item): list(sites)
             for item, sites in msg.payload.get("recipients", {}).items()
@@ -213,6 +224,15 @@ class ParticipantRole:
             return  # resolved before the timer fired
         coordinator = entry[3]
         site.metrics.counters.incr("status_inquiries")
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.TERM_PROBE,
+                site=site.site_id,
+                txn=txn_id,
+                coordinator=coordinator,
+            )
         candidates = [coordinator] + [
             peer
             for peer in sorted(site.nsv.operational_peers())
@@ -248,6 +268,16 @@ class ParticipantRole:
             self._inquiries.pop(txn_id, None)
             return  # the real indication raced the answer in; done
         status = msg.payload["status"]
+        obs = site.network.obs
+        if obs.enabled and status in ("committed", "aborted"):
+            obs.emit(
+                ctx.now,
+                EventKind.TERM_RESULT,
+                site=site.site_id,
+                txn=txn_id,
+                status=status,
+                answered_by=msg.src,
+            )
         if status == "committed":
             site.metrics.counters.incr("termination_committed")
             started, updates, recipients, coordinator = entry
@@ -305,6 +335,15 @@ class ParticipantRole:
             self._inquiries.pop(txn_id, None)
             return
         site.metrics.counters.incr("termination_presumed_abort")
+        obs = site.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.TERM_RESULT,
+                site=site.site_id,
+                txn=txn_id,
+                status="presumed_abort",
+            )
         self._discard(ctx, txn_id)
 
     def txn_status(self, txn_id: int) -> tuple[str, int]:

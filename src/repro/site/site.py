@@ -27,6 +27,8 @@ from repro.metrics.records import ControlRecord, CopierRecord
 from repro.net.endpoint import Endpoint, HandlerContext
 from repro.net.message import Message, MessageType
 from repro.net.network import Network
+from repro.obs.events import EventKind
+from repro.obs.sink import TraceSink
 from repro.sim.logical import LogicalClock
 from repro.site.coordinator import CoordinatorRole
 from repro.site.participant import ParticipantRole
@@ -91,6 +93,11 @@ class DatabaseSite(Endpoint):
         """Wire the site to its network (done by the cluster builder)."""
         self.network = network
         network.register(self)
+
+    @property
+    def obs(self) -> TraceSink:
+        """The run's trace sink (lives on the network)."""
+        return self.network.obs
 
     # -- message dispatch ---------------------------------------------------------
 
@@ -196,6 +203,15 @@ class DatabaseSite(Endpoint):
         for item_id, value, version in updates:
             self.db.apply_write(txn_id, item_id, value, version, ctx.now)
             written_items.append(item_id)
+        obs = self.network.obs
+        if obs.enabled and written_items:
+            obs.emit(
+                ctx.now,
+                EventKind.COMMIT_APPLIED,
+                site=self.site_id,
+                txn=txn_id,
+                items=len(written_items),
+            )
         if self.config.faillocks_enabled and written_items:
             refreshed = sum(
                 1
@@ -213,6 +229,15 @@ class DatabaseSite(Endpoint):
                 )
             else:
                 self.faillocks.update_on_commit(written_items, self.nsv)
+            if obs.enabled:
+                obs.emit(
+                    ctx.now,
+                    EventKind.FAILLOCK_UPDATE,
+                    site=self.site_id,
+                    txn=txn_id,
+                    items=len(written_items),
+                    refreshed=refreshed,
+                )
             if refreshed and self.recovery.in_recovery:
                 self.recovery.note_refreshed_by_write(refreshed, ctx.now)
         if self.probe is not None and written_items:
@@ -241,6 +266,16 @@ class DatabaseSite(Endpoint):
     def _on_clear_faillocks(self, ctx: HandlerContext, msg: Message) -> None:
         ctx.charge(self.costs.clear_notice_apply_cost)
         copier_mod.apply_clear_notice(self.faillocks, msg.payload)
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.FAILLOCK_CLEAR,
+                site=self.site_id,
+                txn=msg.txn_id,
+                owner=msg.payload.get("site", -1),
+                items=len(msg.payload.get("items", ())),
+            )
 
     # -- batch copiers (two-step recovery, §3.2 proposal) -------------------------------
 
@@ -313,13 +348,30 @@ class DatabaseSite(Endpoint):
         ]
         if not newly and not stale_items:
             return
+        obs = self.network.obs
         for site in newly:
             self.nsv.mark_down(site)
+            if obs.enabled:
+                obs.emit(
+                    ctx.now,
+                    EventKind.NSV_MARK_DOWN,
+                    site=self.site_id,
+                    peer=site,
+                    role="announcer",
+                )
         stale_items = sorted(stale_items or [])
         if self.config.faillocks_enabled:
             for site in failed_sites:
                 for item in stale_items:
                     self.faillocks.set_lock(item, site)
+            if obs.enabled and stale_items:
+                obs.emit(
+                    ctx.now,
+                    EventKind.FAILLOCK_SET,
+                    site=self.site_id,
+                    peers=sorted(failed_sites),
+                    items=len(stale_items),
+                )
         announcement = FailureAnnouncement(
             announcer=self.site_id, failed_sites=failed_sites, stale_items=stale_items
         )
@@ -336,10 +388,28 @@ class DatabaseSite(Endpoint):
         ctx.charge(self.costs.control2_update_cost)
         announcement = FailureAnnouncement.from_payload(msg.payload)
         announcement.apply(self.nsv)
+        obs = self.network.obs
+        if obs.enabled:
+            for failed in announcement.failed_sites:
+                obs.emit(
+                    ctx.now,
+                    EventKind.NSV_MARK_DOWN,
+                    site=self.site_id,
+                    peer=failed,
+                    role="operational",
+                )
         if self.config.faillocks_enabled:
             for failed in announcement.failed_sites:
                 for item in announcement.stale_items:
                     self.faillocks.set_lock(item, failed)
+            if obs.enabled and announcement.stale_items:
+                obs.emit(
+                    ctx.now,
+                    EventKind.FAILLOCK_SET,
+                    site=self.site_id,
+                    peers=sorted(announcement.failed_sites),
+                    items=len(announcement.stale_items),
+                )
 
         def record() -> None:
             self.metrics.record_control(
@@ -365,6 +435,14 @@ class DatabaseSite(Endpoint):
         self.nsv.mark_down(self.site_id)
         if self.config.cold_recovery:
             self.db.wipe()
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.SITE_FAIL,
+                site=self.site_id,
+                cold=self.config.cold_recovery,
+            )
 
     def _on_recover(self, ctx: HandlerContext, msg: Message) -> None:
         """The managing site initiated recovery: run the type-1 control
@@ -372,6 +450,14 @@ class DatabaseSite(Endpoint):
         self.alive = True
         new_session = self.nsv.begin_new_session()
         self._recovery_started_at = ctx.now
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.SITE_RECOVER,
+                site=self.site_id,
+                new_session=new_session,
+            )
         ctx.charge(self.costs.control1_begin_cost)
         peers = [s for s in self.nsv.site_ids if s != self.site_id]
         if not peers:
@@ -413,6 +499,15 @@ class DatabaseSite(Endpoint):
         # and its install, so marking it UP here is equivalent to the
         # paper's "preparing to become operational".
         self.nsv.mark_up(announcement.site_id, announcement.new_session)
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.NSV_MARK_UP,
+                site=self.site_id,
+                peer=announcement.site_id,
+                session=announcement.new_session,
+            )
         if msg.payload.get("cold"):
             # Cold crash: every copy the site holds is now out of date.
             items = self.catalog.items_on(announcement.site_id)
@@ -453,6 +548,15 @@ class DatabaseSite(Endpoint):
 
     def _record_recovery_done(self, ctx: HandlerContext) -> None:
         started = self._recovery_started_at
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.SITE_RECOVER_DONE,
+                site=self.site_id,
+                session=self.nsv.my_session,
+                took=ctx.now - started,
+            )
 
         def record() -> None:
             self.metrics.record_control(

@@ -86,6 +86,12 @@ class Cluster:
         except IndexError:
             raise ConfigurationError(f"no site {site_id}") from None
 
+    @property
+    def obs(self):
+        """The run's trace sink (repro.obs) — disabled until you set
+        ``cluster.obs.enabled = True`` before :meth:`run`."""
+        return self.network.obs
+
     def observer_site(self) -> Optional[DatabaseSite]:
         """The lowest-id operational site (best-informed fail-lock table)."""
         for site in self.sites:

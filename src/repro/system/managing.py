@@ -22,6 +22,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import FailLockSample, TxnRecord
 from repro.net.endpoint import Endpoint, HandlerContext
 from repro.net.message import Message, MessageType
+from repro.obs.events import EventKind
 from repro.system.config import FailureDetection, SystemConfig
 from repro.system.scenario import (
     Action,
@@ -163,6 +164,16 @@ class ManagingSite(Endpoint):
         txn_id = self._next_txn_id
         self._in_flight_txn = txn_id
         self._txn_sizes[txn_id] = len(ops)
+        obs = self.cluster.network.obs
+        if obs.enabled:
+            obs.emit(
+                ctx.now,
+                EventKind.TXN_SUBMIT,
+                site=self.site_id,
+                txn=txn_id,
+                seq=self._seq,
+                coordinator=coordinator,
+            )
         ctx.charge(self.config.costs.manager_cost)
         ctx.send(
             coordinator,

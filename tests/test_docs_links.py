@@ -1,0 +1,103 @@
+"""Markdown link checking: every internal link and anchor must resolve.
+
+Covers all tracked ``*.md`` files: relative-path links must point at
+existing files (with existing heading anchors when a ``#fragment`` is
+given), and same-document ``#anchor`` links must match a heading.
+External ``http(s)``/``mailto`` links are not fetched.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Imported reference material (paper extractions, issue text) is not ours
+# to fix; the link check covers the documentation this repo authors.
+_IMPORTED = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+MARKDOWN_FILES = sorted(
+    p
+    for p in list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    if p.is_file() and p.name not in _IMPORTED
+)
+
+# [text](target) — excluding images' src handled identically, so keep them.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)|\!\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _strip_code_blocks(text: str) -> list[str]:
+    lines, fenced = [], False
+    for line in text.splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            lines.append(line)
+    return lines
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dash spaces."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.lower().strip()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in _strip_code_blocks(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        base = _github_anchor(match.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def _links_of(path: Path) -> list[str]:
+    links = []
+    for line in _strip_code_blocks(path.read_text(encoding="utf-8")):
+        for match in _LINK.finditer(line):
+            links.append(match.group(1) or match.group(2))
+    return links
+
+
+def test_markdown_corpus_found() -> None:
+    names = {p.name for p in MARKDOWN_FILES}
+    assert {"README.md", "ARCHITECTURE.md", "OBSERVABILITY.md",
+            "PROTOCOL.md"} <= names
+
+
+@pytest.mark.parametrize(
+    "md", MARKDOWN_FILES, ids=[str(p.relative_to(REPO)) for p in MARKDOWN_FILES]
+)
+def test_internal_links_resolve(md: Path) -> None:
+    problems = []
+    for link in _links_of(md):
+        if link.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = link.partition("#")
+        if not target:  # same-document anchor
+            if fragment and fragment not in _anchors_of(md):
+                problems.append(f"#{fragment}: no such heading in {md.name}")
+            continue
+        resolved = (md.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{link}: {target} does not exist")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors_of(resolved):
+                problems.append(
+                    f"{link}: no heading anchors to #{fragment} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, "\n".join(problems)

@@ -1,0 +1,115 @@
+"""Causal timelines: phase attribution must partition the measured window."""
+
+import math
+
+import pytest
+
+from repro.obs import build_timelines, derive_txn_summaries
+from repro.obs.events import EventKind
+from repro.obs.record import _scenario_for
+from repro.obs.timeline import (
+    PHASE_COMMIT,
+    PHASE_COPIER,
+    PHASE_ORDER,
+    build_timeline,
+)
+from repro.system.cluster import Cluster
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced Experiment-1-shaped run: cluster metrics + events."""
+    config, scenario = _scenario_for("1", 42)
+    cluster = Cluster(config)
+    cluster.obs.enabled = True
+    metrics = cluster.run(scenario)
+    return metrics, list(cluster.obs)
+
+
+def test_every_transaction_gets_a_timeline(traced_run) -> None:
+    metrics, events = traced_run
+    timelines = build_timelines(events)
+    assert set(timelines) == {r.txn_id for r in metrics.txns}
+
+
+def test_phase_sums_equal_recorded_elapsed(traced_run) -> None:
+    """The attribution invariant: phases partition [txn.begin, txn.end],
+    which are the exact instants coordinator_elapsed is computed from."""
+    metrics, events = traced_run
+    timelines = build_timelines(events)
+    for record in metrics.txns:
+        timeline = timelines[record.txn_id]
+        phase_sum = sum(span.duration for span in timeline.phases)
+        assert math.isclose(phase_sum, timeline.elapsed, abs_tol=1e-9)
+        assert math.isclose(
+            timeline.elapsed, record.coordinator_elapsed, abs_tol=1e-9
+        )
+
+
+def test_phases_are_contiguous_and_ordered(traced_run) -> None:
+    _metrics, events = traced_run
+    for timeline in build_timelines(events).values():
+        spans = timeline.phases
+        assert spans[0].start == timeline.begin
+        assert spans[-1].end == timeline.end
+        for prev, cur in zip(spans, spans[1:]):
+            assert prev.end == cur.start
+        for span in spans:
+            assert span.phase in PHASE_ORDER
+
+
+def test_copier_transactions_show_a_copier_phase(traced_run) -> None:
+    """Exp 1's recovered-coordinator reads must surface as copier time."""
+    _metrics, events = traced_run
+    copier_txns = {
+        e.txn for e in events if e.kind is EventKind.COPIER_BEGIN
+    }
+    assert copier_txns  # the preset is built to exercise copiers
+    timelines = build_timelines(events)
+    for txn in copier_txns:
+        totals = timelines[txn].phase_totals()
+        assert totals.get(PHASE_COPIER, 0.0) > 0.0
+
+
+def test_committed_transactions_marked_and_reasons_absent(traced_run) -> None:
+    metrics, events = traced_run
+    timelines = build_timelines(events)
+    for record in metrics.txns:
+        timeline = timelines[record.txn_id]
+        assert timeline.committed is record.committed
+        assert timeline.coordinator == record.coordinator
+        if record.committed:
+            assert not timeline.abort_reason
+
+
+def test_full_two_phase_commits_attribute_commit_time(traced_run) -> None:
+    _metrics, events = traced_run
+    phase2_txns = {e.txn for e in events if e.kind is EventKind.PHASE2_BEGIN}
+    timelines = build_timelines(events)
+    assert phase2_txns
+    for txn in phase2_txns:
+        assert timelines[txn].phase_totals().get(PHASE_COMMIT, 0.0) > 0.0
+
+
+def test_derived_summaries_match_metrics_records(traced_run) -> None:
+    """derive_txn_summaries is a pure function of the trace; it must agree
+    with the metrics pipeline's independently-recorded rows."""
+    metrics, events = traced_run
+    by_txn = {row["txn"]: row for row in derive_txn_summaries(events)}
+    assert len(by_txn) == len(metrics.txns)
+    for record in metrics.txns:
+        row = by_txn[record.txn_id]
+        assert row["coordinator"] == record.coordinator
+        assert row["committed"] is record.committed
+        assert math.isclose(
+            row["coordinator_elapsed"], record.coordinator_elapsed, abs_tol=1e-9
+        )
+
+
+def test_incomplete_transaction_has_no_timeline() -> None:
+    """A begin without an end (e.g. in-flight at capture time) is skipped."""
+    from repro.obs import TraceSink
+
+    sink = TraceSink(enabled=True)
+    sink.emit(1.0, EventKind.TXN_BEGIN, site=0, txn=1, size=3)
+    assert build_timeline(list(sink)) is None
