@@ -143,7 +143,7 @@ class InvariantAuditor:
         # Coverage: whoever did not receive this update must now be locked.
         for item in written_items:
             got_it = set(recipients.get(item, []))
-            for holder in sorted(site.catalog.holders(item)):
+            for holder in sorted(site.catalog.holders_view(item)):
                 self.checks += 1
                 if holder in got_it:
                     continue

@@ -100,6 +100,10 @@ class ChaosRunResult:
     # reports built from them, identical to earlier revisions).
     stalled: bool = False
     net_stats: Optional[ReliableStats] = None
+    # Scheduler events fired during the run (benchmark denominator; also a
+    # cheap replay fingerprint — a divergent replay rarely fires the same
+    # number of events).
+    events_fired: int = 0
 
     @property
     def clean(self) -> bool:
@@ -217,6 +221,7 @@ def run_chaos_seed(
             if cluster.network.reliable is not None
             else None
         ),
+        events_fired=cluster.scheduler.fired,
     )
 
 
@@ -228,8 +233,26 @@ def run_seed_sweep(
     txns: int = 60,
     plan: Optional[FaultPlan] = None,
     mutate: bool = False,
+    jobs: Optional[int] = None,
 ) -> ChaosSweepReport:
-    """Run :func:`run_chaos_seed` for every seed; aggregate the results."""
+    """Run :func:`run_chaos_seed` for every seed; aggregate the results.
+
+    ``jobs`` > 1 fans the seeds across worker processes (each seed is a
+    pure function of its arguments, so the report is identical to the
+    serial one — see :mod:`repro.perf.parallel`).
+    """
+    if jobs is not None and jobs > 1:
+        from repro.perf.parallel import run_parallel_seed_sweep
+
+        return run_parallel_seed_sweep(
+            seeds,
+            sites=sites,
+            db_size=db_size,
+            txns=txns,
+            plan=plan,
+            mutate=mutate,
+            jobs=jobs,
+        )
     if plan is None:
         plan = FaultPlan()
     report = ChaosSweepReport(plan=plan, mutated=mutate)

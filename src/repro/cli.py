@@ -11,8 +11,14 @@ Commands map one-to-one onto the paper's artifacts:
 ``concurrent``   the "complete RAID" open-loop sweep (A8)
 ``chaos``        randomized fault injection + invariant audit seed sweep
 ``trace``        record/inspect structured run traces (repro.obs)
+``bench``        simulator benchmark harness (repro.perf)
 ``report``       regenerate EXPERIMENTS.md (everything above)
 ===============  =======================================================
+
+The global ``--profile`` flag wraps any command in :mod:`cProfile` and
+prints the top functions by cumulative time; ``chaos --jobs N`` and
+``report --jobs N`` fan sweep seeds across worker processes with
+identical output (see docs/PERFORMANCE.md).
 
 ``trace`` has its own subcommands: ``record`` (trace an experiment preset
 or a chaos seed into a run directory), ``show`` (phase-attributed timeline
@@ -207,6 +213,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         txns=args.txns,
         plan=plan,
         mutate=args.mutate,
+        jobs=args.jobs,
     )
     text = format_sweep_report(report)
     if args.output:
@@ -323,10 +330,52 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    content = generate_report(seed=args.seed)
+    content = generate_report(seed=args.seed, jobs=args.jobs)
     with open(args.output, "w", encoding="utf-8") as fh:
         fh.write(content)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.bench import (
+        check_regression,
+        render_bench_table,
+        run_simcore_bench,
+        run_sweep_bench,
+        validate_simcore_doc,
+        validate_sweep_doc,
+        write_bench_files,
+    )
+
+    simcore = run_simcore_bench(quick=args.quick)
+    sweep = run_sweep_bench(quick=args.quick, jobs=args.jobs)
+    print(render_bench_table(simcore, sweep))
+
+    problems = validate_simcore_doc(simcore) + validate_sweep_doc(sweep)
+    if args.check:
+        try:
+            with open("BENCH_simcore.json", encoding="utf-8") as fh:
+                committed = json.load(fh)
+        except OSError as exc:
+            problems.append(f"BENCH_simcore.json: {exc}")
+        else:
+            problems += [
+                f"committed BENCH_simcore.json: {p}"
+                for p in validate_simcore_doc(committed)
+            ]
+            problems += check_regression(
+                committed, simcore, tolerance=args.tolerance
+            )
+    if args.write:
+        write_bench_files(simcore, sweep)
+        print("wrote BENCH_simcore.json, BENCH_sweep.json")
+    if problems:
+        for problem in problems:
+            print(f"BENCH: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -338,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
         "control during site failure and recovery.",
     )
     parser.add_argument("--seed", type=int, default=42, help="run seed")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile; print the top functions "
+        "by cumulative time",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("exp1", help="§2 overhead tables").set_defaults(fn=_cmd_exp1)
@@ -391,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="network partitions (ROWAA-unsafe demo; see docs/PROTOCOL.md)",
     )
     chaos.add_argument("--output", default=None, help="write report to file")
+    chaos.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan seeds across N worker processes (identical report)",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
@@ -460,8 +518,38 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--dir", default="run", help="exported run directory")
     validate.set_defaults(fn=_cmd_trace_validate)
 
+    bench = sub.add_parser(
+        "bench", help="simulator benchmark harness (repro.perf)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads, single timed rep (CI smoke)",
+    )
+    bench.add_argument(
+        "--write", action="store_true",
+        help="write BENCH_simcore.json and BENCH_sweep.json",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on schema problems or a >tolerance events/sec "
+        "regression vs the committed BENCH_simcore.json",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec drop for --check",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep benchmark",
+    )
+    bench.set_defaults(fn=_cmd_bench)
+
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan stability replications across N worker processes",
+    )
     report.set_defaults(fn=_cmd_report)
     return parser
 
@@ -469,6 +557,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        rc = profiler.runcall(args.fn, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        return rc
     return args.fn(args)
 
 

@@ -65,7 +65,12 @@ class FailLockTable:
 
     def is_locked(self, item_id: int, site_id: int) -> bool:
         """Whether ``site_id``'s copy of ``item_id`` is out-of-date."""
-        return bool(self._mask(item_id) & self._bit(site_id))
+        try:
+            return bool(self._masks[item_id] & self._bit_of[site_id])
+        except KeyError:
+            self._mask(item_id)
+            self._bit(site_id)
+            raise  # pragma: no cover - one of the two raised above
 
     def mask(self, item_id: int) -> int:
         """The raw bit mask for ``item_id``."""
@@ -121,16 +126,20 @@ class FailLockTable:
         Returns the number of bit operations performed.
         """
         count = 0
-        all_mask = (1 << len(self.site_ids)) - 1
+        sites = len(self.site_ids)
+        all_mask = (1 << sites) - 1
+        masks = self._masks
+        bit_of = self._bit_of
         for item, recipients in recipients_of.items():
-            self._mask(item)  # validate the item exists
+            if item not in masks:
+                self._mask(item)  # raises with the right message
             recipient_mask = 0
             for site in recipients:
-                recipient_mask |= self._bit(site)
+                recipient_mask |= bit_of[site] if site in bit_of else self._bit(site)
             # The written value is now THE copy: exactly the non-recipients
             # are stale, whatever the previous mask said.
-            self._masks[item] = all_mask & ~recipient_mask
-            count += len(self.site_ids)
+            masks[item] = all_mask & ~recipient_mask
+            count += sites
         return count
 
     # -- recovery-side queries ----------------------------------------------------

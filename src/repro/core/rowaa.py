@@ -88,7 +88,7 @@ class RowaaPlanner:
         This is ROWAA's "write all available": the coordinator updates every
         copy it believes reachable, and fail-locks cover the rest.
         """
-        holders = self.catalog.holders(item_id)
+        holders = self.catalog.holders_view(item_id)
         return [s for s in self.vector.operational_sites() if s in holders]
 
     def participants_for(self, written_items: list[int]) -> list[int]:

@@ -51,13 +51,21 @@ class NominalSessionVector:
         self._records: dict[int, SessionRecord] = {
             site: SessionRecord(site_id=site) for site in sorted(site_ids)
         }
+        # The site set is fixed for the life of the vector; keep the sorted
+        # ids (and the records in that order) precomputed.
+        self._site_ids: list[int] = list(self._records)
 
     # -- basic access --------------------------------------------------------
 
     @property
     def site_ids(self) -> list[int]:
         """All system site ids, sorted."""
-        return sorted(self._records)
+        return list(self._site_ids)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of system sites (no copy, unlike :attr:`site_ids`)."""
+        return len(self._site_ids)
 
     def record(self, site_id: int) -> SessionRecord:
         """The entry for ``site_id``."""
@@ -88,19 +96,29 @@ class NominalSessionVector:
         RECOVERING site is still installing state and a DOWN or TERMINATING
         site is unreachable.
         """
-        return self.state_of(site_id) is SiteState.UP
+        try:
+            return self._records[site_id].state is SiteState.UP
+        except KeyError:
+            raise SessionError(f"site {site_id} not in session vector") from None
 
     def operational_sites(self) -> list[int]:
         """All sites the owner believes are up (including itself if up)."""
-        return [s for s in self.site_ids if self.is_operational(s)]
+        # Records were built in sorted order, so iteration is sorted.
+        up = SiteState.UP
+        return [s for s, r in self._records.items() if r.state is up]
 
     def operational_peers(self) -> list[int]:
         """Operational sites other than the owner."""
-        return [s for s in self.operational_sites() if s != self.owner]
+        up = SiteState.UP
+        owner = self.owner
+        return [
+            s for s, r in self._records.items() if r.state is up and s != owner
+        ]
 
     def down_sites(self) -> list[int]:
         """Sites perceived DOWN."""
-        return [s for s in self.site_ids if self.state_of(s) is SiteState.DOWN]
+        down = SiteState.DOWN
+        return [s for s, r in self._records.items() if r.state is down]
 
     # -- transitions -----------------------------------------------------------
 

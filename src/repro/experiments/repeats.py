@@ -5,17 +5,25 @@ period" and reported averages.  These helpers re-run each experiment
 across many seeds and summarize the distribution, giving the reproduction
 confidence intervals instead of single draws — and giving tests a way to
 assert that the headline results are stable properties, not lucky seeds.
+
+Each replication takes a ``jobs`` parameter: ``jobs > 1`` fans the seeds
+across worker processes (:func:`repro.perf.parallel.parallel_map`).  The
+per-seed workers are module-level functions returning plain floats, so
+they pickle cheaply, and results are merged in seed order — the summary
+is identical to a serial run's.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.exp1 import run_faillock_overhead
 from repro.experiments.exp2 import run_figure1
 from repro.experiments.exp3 import run_scenario1, run_scenario2
 from repro.metrics.stats import mean, stddev
+from repro.perf.parallel import parallel_map
 
 
 @dataclass(slots=True)
@@ -51,15 +59,42 @@ class Replicated:
         )
 
 
-def replicate_figure1(seeds: tuple[int, ...] = tuple(range(1, 11))) -> dict[str, Replicated]:
+def _figure1_stats(seed: int) -> tuple[float, float, float, float]:
+    result = run_figure1(seed=seed)
+    return (
+        100.0 * result.peak_fraction,
+        float(result.report.txns_to_recover),
+        float(result.copiers),
+        float(result.aborts),
+    )
+
+
+def _scenario1_aborts(seed: int) -> float:
+    return float(run_scenario1(seed=seed, settle=False).aborts)
+
+
+def _scenario2_aborts(seed: int) -> float:
+    return float(run_scenario2(seed=seed, settle=False).aborts)
+
+
+def _faillock_pcts(seed: int) -> tuple[float, float]:
+    result = run_faillock_overhead(seed=seed, txns=150)
+    return (result.coord_overhead_pct, result.part_overhead_pct)
+
+
+def replicate_figure1(
+    seeds: tuple[int, ...] = tuple(range(1, 11)),
+    jobs: Optional[int] = None,
+) -> dict[str, Replicated]:
     """Figure 1 headline numbers across seeds."""
     peaks, recoveries, copiers, aborts = [], [], [], []
-    for seed in seeds:
-        result = run_figure1(seed=seed)
-        peaks.append(100.0 * result.peak_fraction)
-        recoveries.append(float(result.report.txns_to_recover))
-        copiers.append(float(result.copiers))
-        aborts.append(float(result.aborts))
+    for peak, recovery, copier, abort in parallel_map(
+        _figure1_stats, seeds, jobs=jobs
+    ):
+        peaks.append(peak)
+        recoveries.append(recovery)
+        copiers.append(copier)
+        aborts.append(abort)
     return {
         "peak_pct": Replicated("peak fail-locked %", peaks),
         "txns_to_recover": Replicated("txns to recover", recoveries),
@@ -68,31 +103,35 @@ def replicate_figure1(seeds: tuple[int, ...] = tuple(range(1, 11))) -> dict[str,
     }
 
 
-def replicate_scenario1(seeds: tuple[int, ...] = tuple(range(1, 11))) -> Replicated:
+def replicate_scenario1(
+    seeds: tuple[int, ...] = tuple(range(1, 11)),
+    jobs: Optional[int] = None,
+) -> Replicated:
     """Scenario 1's abort count across seeds (paper's single draw: 13)."""
     return Replicated(
-        "scenario 1 aborts",
-        [float(run_scenario1(seed=seed, settle=False).aborts) for seed in seeds],
+        "scenario 1 aborts", parallel_map(_scenario1_aborts, seeds, jobs=jobs)
     )
 
 
-def replicate_scenario2(seeds: tuple[int, ...] = tuple(range(1, 11))) -> Replicated:
+def replicate_scenario2(
+    seeds: tuple[int, ...] = tuple(range(1, 11)),
+    jobs: Optional[int] = None,
+) -> Replicated:
     """Scenario 2's abort count across seeds (paper: 0, structurally)."""
     return Replicated(
-        "scenario 2 aborts",
-        [float(run_scenario2(seed=seed, settle=False).aborts) for seed in seeds],
+        "scenario 2 aborts", parallel_map(_scenario2_aborts, seeds, jobs=jobs)
     )
 
 
 def replicate_faillock_overhead(
-    seeds: tuple[int, ...] = tuple(range(1, 6))
+    seeds: tuple[int, ...] = tuple(range(1, 6)),
+    jobs: Optional[int] = None,
 ) -> dict[str, Replicated]:
     """Experiment 1's fail-lock overhead percentages across seeds."""
     coord, part = [], []
-    for seed in seeds:
-        result = run_faillock_overhead(seed=seed, txns=150)
-        coord.append(result.coord_overhead_pct)
-        part.append(result.part_overhead_pct)
+    for coord_pct, part_pct in parallel_map(_faillock_pcts, seeds, jobs=jobs):
+        coord.append(coord_pct)
+        part.append(part_pct)
     return {
         "coord_pct": Replicated("coordinator overhead %", coord),
         "part_pct": Replicated("participant overhead %", part),

@@ -31,13 +31,15 @@ class HandlerContext:
         self.endpoint = endpoint
         self.cost = 0.0
         self.outbox: list[Message] = []
-        self.timers: list[tuple[float, Callable[["HandlerContext"], None]]] = []
-        self.completions: list[Callable[[], None]] = []
+        # Lazily allocated: most activations set no timers or completions,
+        # and a context is created for every delivered message.
+        self.timers: Optional[list[tuple[float, Callable[["HandlerContext"], None]]]] = None
+        self.completions: Optional[list[Callable[[], None]]] = None
 
     @property
     def now(self) -> float:
         """Simulated time at which this activation began."""
-        return self.network.scheduler.now
+        return self.network.scheduler.clock._now
 
     def charge(self, milliseconds: float) -> None:
         """Add processing cost to this activation."""
@@ -69,10 +71,14 @@ class HandlerContext:
         """Run ``fn`` in a fresh activation ``delay`` ms after this one ends."""
         if delay < 0:
             raise ValueError(f"negative timer delay: {delay}")
+        if self.timers is None:
+            self.timers = []
         self.timers.append((delay, fn))
 
     def on_done(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` (no new activation) when this activation's work ends."""
+        if self.completions is None:
+            self.completions = []
         self.completions.append(fn)
 
 

@@ -78,7 +78,7 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
     txn_id: int = -1
     session: int = -1
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = field(default_factory=_msg_ids.__next__)
     send_time: float = -1.0
     deliver_time: float = -1.0
     # Per-channel sequence number stamped by the reliable-delivery

@@ -89,6 +89,14 @@ class Network:
         self.scheduler = scheduler
         self.cpu = cpu
         self.latency_model = latency_model if latency_model is not None else ConstantLatency(0.0)
+        # Constant-latency fast path: ConstantLatency.sample consumes no
+        # randomness, so the per-message polymorphic call can be skipped
+        # without perturbing any RNG stream.
+        self._fixed_latency: Optional[float] = (
+            self.latency_model.latency_ms
+            if type(self.latency_model) is ConstantLatency
+            else None
+        )
         if msg_send_cost < 0 or msg_recv_cost < 0:
             raise NetworkError("message costs must be non-negative")
         self.msg_send_cost = msg_send_cost
@@ -164,11 +172,7 @@ class Network:
         Used to kick off activity that is not a response to a message (the
         managing site starting a scenario, batch-copier timers, ...).
         """
-        self.scheduler.schedule(
-            delay,
-            lambda: self._run_activation(endpoint, fn),
-            label=f"spawn@{endpoint.site_id}",
-        )
+        self.scheduler.post(delay, self._run_activation, (endpoint, fn))
 
     def _run_activation(
         self,
@@ -186,33 +190,45 @@ class Network:
             obs.scope = -1
 
     def _finish_activation(self, ctx: HandlerContext) -> None:
-        endpoint = ctx.endpoint
-        total = ctx.cost + len(ctx.outbox) * self.msg_send_cost
-        outbox = list(ctx.outbox)
-        timers = list(ctx.timers)
-        completions = list(ctx.completions)
+        # The context dies here, so its lists transfer to the release step
+        # without copying.
+        outbox = ctx.outbox
+        total = ctx.cost + len(outbox) * self.msg_send_cost
         # Causality: everything this activation queued — messages released
         # later, timers firing later — is caused by the activation's scope
         # event, which must be captured *now* (release runs after the CPU
         # work completes, under someone else's scope).
-        scope = self.obs.scope if self.obs.enabled else -1
-        for msg in outbox:
-            msg.trace_ref = scope
-
-        def release() -> None:
-            release_time = self.scheduler.now
+        scope = -1
+        if self.obs.enabled:
+            scope = self.obs.scope
             for msg in outbox:
-                self._transmit(msg, release_time)
+                msg.trace_ref = scope
+        self.cpu.execute(
+            total,
+            self._release_activation,
+            args=(ctx.endpoint, outbox, ctx.timers, ctx.completions, scope),
+        )
+
+    def _release_activation(
+        self,
+        endpoint: Endpoint,
+        outbox: list[Message],
+        timers: Optional[list[tuple[float, Callable[[HandlerContext], None]]]],
+        completions: Optional[list[Callable[[], None]]],
+        scope: int,
+    ) -> None:
+        """The activation's CPU work is done: release its queued effects."""
+        release_time = self.scheduler.clock._now
+        for msg in outbox:
+            self._transmit(msg, release_time)
+        if timers:
             for delay, timer_fn in timers:
-                self.scheduler.schedule(
-                    delay,
-                    lambda f=timer_fn: self._run_activation(endpoint, f, parent=scope),
-                    label=f"timer@{endpoint.site_id}",
+                self.scheduler.post(
+                    delay, self._run_activation, (endpoint, timer_fn, scope)
                 )
+        if completions:
             for done_fn in completions:
                 done_fn()
-
-        self.cpu.execute(total, release, label=f"work@{endpoint.site_id}")
 
     # -- transmission ------------------------------------------------------
 
@@ -264,29 +280,29 @@ class Network:
                 self.reliable.cancel(msg)
             self._notify_sender_failure(msg)
             return
-        latency = self.latency_model.sample(msg.src, msg.dst, self._latency_rng)
+        if self._fixed_latency is not None:
+            latency = self._fixed_latency
+        else:
+            latency = self.latency_model.sample(msg.src, msg.dst, self._latency_rng)
         if fate is not None:
             latency += fate.delay
         deliver_at = release_time + latency
         # Reliable FIFO per (src, dst): never deliver before an earlier
         # message on the same channel.
         channel = (msg.src, msg.dst)
+        fifo_last = self._fifo_last
         if fate is not None and fate.reorder:
             # Injected reorder: allow delivery before earlier same-channel
             # traffic, but never before the send instant.
             deliver_at = max(release_time, deliver_at - fate.reorder_shift)
-            self._fifo_last[channel] = max(
-                self._fifo_last.get(channel, 0.0), deliver_at
-            )
+            fifo_last[channel] = max(fifo_last.get(channel, 0.0), deliver_at)
         else:
-            deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
-            self._fifo_last[channel] = deliver_at
+            last = fifo_last.get(channel, 0.0)
+            if last > deliver_at:
+                deliver_at = last
+            fifo_last[channel] = deliver_at
         msg.deliver_time = deliver_at
-        self.scheduler.schedule_at(
-            deliver_at,
-            lambda: self._deliver(msg),
-            label=f"deliver#{msg.msg_id}",
-        )
+        self.scheduler.post_at(deliver_at, self._deliver, (msg,))
         if fate is not None and fate.duplicate:
             self._transmit_duplicate(msg, release_time, deliver_at + fate.duplicate_gap)
 
@@ -333,11 +349,7 @@ class Network:
         deliver_at = max(deliver_at, self._fifo_last.get(channel, 0.0))
         self._fifo_last[channel] = deliver_at
         dup.deliver_time = deliver_at
-        self.scheduler.schedule_at(
-            deliver_at,
-            lambda: self._deliver(dup),
-            label=f"deliver#{dup.msg_id}",
-        )
+        self.scheduler.post_at(deliver_at, self._deliver, (dup,))
 
     def _deliver(self, msg: Message) -> None:
         endpoint = self._endpoints[msg.dst]
@@ -410,7 +422,9 @@ class Network:
         for probe in self.delivery_probes:
             probe(msg)
         ctx = HandlerContext(self, endpoint)
-        ctx.charge(self.msg_recv_cost)
+        # Fresh context: assigning is charge() without the call (the cost
+        # was validated non-negative at construction).
+        ctx.cost = self.msg_recv_cost
         endpoint.handle(ctx, msg)
         self._finish_activation(ctx)
         if obs.enabled:
@@ -422,13 +436,15 @@ class Network:
         sender = self._endpoints.get(msg.src)
         if sender is None or not sender.alive:
             return
-        self.scheduler.schedule(
-            self.failure_detect_delay,
-            lambda: self._run_activation(
-                sender, lambda ctx: sender.on_delivery_failed(ctx, msg)
-            ),
-            label=f"notice#{msg.msg_id}",
+        self.scheduler.post(
+            self.failure_detect_delay, self._run_failure_notice, (sender, msg)
         )
+
+    def _run_failure_notice(self, sender: Endpoint, msg: Message) -> None:
+        """Activation delivering a failure notice to ``msg``'s sender."""
+        ctx = HandlerContext(self, sender)
+        sender.on_delivery_failed(ctx, msg)
+        self._finish_activation(ctx)
 
     def __repr__(self) -> str:
         return (

@@ -199,10 +199,11 @@ class ReliableDelivery:
         msg = pending.msg
         key = (msg.src, msg.dst, msg.seq)
         delay = self.policy.rto_for_attempt(pending.attempts)
+        # Pre-bound method + args tuple + static label: this is the heap's
+        # highest-churn producer (most timers are cancelled by an ack), so
+        # per-timer closures and f-string labels would dominate its cost.
         pending.timer = self.network.scheduler.schedule(
-            delay,
-            lambda: self._on_timer(key),
-            label=f"rto#{msg.msg_id}",
+            delay, self._on_timer, label="rto", args=(key,)
         )
 
     def _on_timer(self, key: tuple[int, int, int]) -> None:

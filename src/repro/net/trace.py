@@ -38,20 +38,21 @@ class MessageTrace:
 
     def record(self, msg: Message, delivered: bool, reason: str = "") -> None:
         """Append ``msg`` with its delivery outcome."""
-        if len(self.entries) >= self.capacity:
+        entries = self.entries
+        if len(entries) >= self.capacity:
             self.dropped_entries += 1
             return
-        self.entries.append(
+        entries.append(
             TraceEntry(
-                msg_id=msg.msg_id,
-                src=msg.src,
-                dst=msg.dst,
-                mtype=msg.mtype,
-                txn_id=msg.txn_id,
-                send_time=msg.send_time,
-                deliver_time=msg.deliver_time,
-                delivered=delivered,
-                reason=reason,
+                msg.msg_id,
+                msg.src,
+                msg.dst,
+                msg.mtype,
+                msg.txn_id,
+                msg.send_time,
+                msg.deliver_time,
+                delivered,
+                reason,
             )
         )
 

@@ -1,0 +1,39 @@
+"""Performance tooling: parallel sweep execution and the benchmark harness.
+
+Two concerns live here, both downstream of the fast-path work documented
+in docs/PERFORMANCE.md:
+
+* :mod:`repro.perf.parallel` — a multiprocess executor that fans
+  embarrassingly-parallel sweeps (chaos seeds, experiment replications)
+  across worker processes with a deterministic, input-ordered merge.
+  Parallel results are *identical* to serial ones, not just statistically
+  equivalent: every unit of work is a pure function of its arguments.
+* :mod:`repro.perf.bench` — the continuous benchmark harness behind
+  ``repro bench``.  It times fixed simulation presets (events/sec,
+  wall-clock, peak RSS), writes schema-stable JSON artifacts
+  (``BENCH_simcore.json``, ``BENCH_sweep.json``), and gates regressions
+  in CI.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    check_regression,
+    render_bench_table,
+    run_simcore_bench,
+    run_sweep_bench,
+    validate_simcore_doc,
+    validate_sweep_doc,
+)
+from repro.perf.parallel import parallel_map, run_parallel_seed_sweep
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "check_regression",
+    "parallel_map",
+    "render_bench_table",
+    "run_parallel_seed_sweep",
+    "run_simcore_bench",
+    "run_sweep_bench",
+    "validate_simcore_doc",
+    "validate_sweep_doc",
+]

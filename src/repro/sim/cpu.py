@@ -42,24 +42,36 @@ class CpuResource:
     def execute(
         self,
         duration: float,
-        on_done: Callable[[], None],
+        on_done: Callable[..., None],
         label: str = "",
+        args: tuple = (),
     ) -> float:
         """Run ``duration`` ms of work on the least-loaded core.
 
-        ``on_done`` fires when the work completes.  Returns the absolute
-        completion time.
+        ``on_done(*args)`` fires when the work completes.  Returns the
+        absolute completion time.
         """
         if duration < 0:
             raise SimulationError(f"negative work duration: {duration}")
-        now = self._scheduler.now
-        core = min(range(len(self._free_at)), key=lambda i: self._free_at[i])
-        start = max(now, self._free_at[core])
-        done = start + duration
-        self._free_at[core] = done
+        free_at = self._free_at
+        now = self._scheduler.clock._now
+        if len(free_at) == 1:
+            # Single-CPU mini-RAID: the overwhelmingly common case.
+            start = free_at[0]
+            if now > start:
+                start = now
+            done = start + duration
+            free_at[0] = done
+        else:
+            core = free_at.index(min(free_at))
+            start = free_at[core]
+            if now > start:
+                start = now
+            done = start + duration
+            free_at[core] = done
         self.busy_ms += duration
         self.jobs += 1
-        self._scheduler.schedule_at(done, on_done, label=label or "cpu-done")
+        self._scheduler.post_at(done, on_done, args)
         return done
 
     def utilization(self) -> float:

@@ -1,19 +1,45 @@
 """Deterministic event scheduler (the heart of the simulator).
 
-A binary heap of :class:`~repro.sim.events.Event` ordered by
-``(time, insertion sequence)``.  All system activity — message deliveries,
-CPU completions, timeouts — flows through one scheduler instance, so a run
-is a pure function of the configuration and the seed.
+A binary heap ordered by ``(time, insertion sequence)``.  All system
+activity — message deliveries, CPU completions, timeouts — flows through
+one scheduler instance, so a run is a pure function of the configuration
+and the seed.
+
+Performance notes (this is the hottest loop in the repository; see
+docs/PERFORMANCE.md):
+
+* Heap entries are plain tuples ``(time, seq, action, payload)``, compared
+  entirely at C level — sequence numbers are unique, so comparison never
+  reaches the callable.
+* :meth:`post` / :meth:`post_at` are the allocation-light fast path used
+  by the network and CPU model: no :class:`Event` object is created, and
+  ``payload`` carries the action's arguments so call sites need no
+  closures.  :meth:`schedule` / :meth:`schedule_at` return a cancellable
+  :class:`Event` for callers that need one (timers).
+* Cancelled events are skipped lazily when popped, but the scheduler
+  keeps an exact live count (:attr:`pending` excludes cancelled entries)
+  and compacts the heap in place once cancelled entries outnumber live
+  ones — timer-heavy workloads (retransmission backoff) would otherwise
+  accumulate unbounded dead entries.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SchedulerError
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event
+
+# Heap-entry marker: the entry's payload is a cancellable Event rather
+# than a plain argument tuple.  ``None`` never collides with a real
+# action callable.
+_CANCELLABLE = None
+
+# Compact only once at least this many cancelled entries have piled up;
+# below it the rebuild costs more than the dead entries do.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventScheduler:
@@ -21,68 +47,160 @@ class EventScheduler:
 
     def __init__(self, clock: Optional[VirtualClock] = None) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self._heap: list[Event] = []
+        # Entries: (time, seq, action, args) for fire-and-forget posts,
+        # (time, seq, None, event) for cancellable events.
+        self._heap: list[tuple[float, int, Optional[Callable[..., None]], Any]] = []
         self._seq = 0
         self._fired = 0
+        self._cancelled = 0
         self._running = False
+        self.compactions = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
-        return self.clock.now
+        return self.clock._now
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* events still queued (cancelled ones excluded)."""
+        return len(self._heap) - self._cancelled
 
     @property
     def fired(self) -> int:
         """Total number of events that have executed."""
         return self._fired
 
+    # -- scheduling ----------------------------------------------------------
+
+    def post(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule ``action(*args)`` to run ``delay`` ms from now.
+
+        The allocation-light fast path: no :class:`Event` is created and
+        the schedule cannot be cancelled.  Use :meth:`schedule` when the
+        caller needs a handle.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self.clock._now + delay, seq, action, args))
+
+    def post_at(
+        self,
+        time: float,
+        action: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule ``action(*args)`` at an absolute simulated time."""
+        if time < self.clock._now:
+            raise SchedulerError(
+                f"cannot schedule at {time}, now is {self.clock._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, action, args))
+
     def schedule(
         self,
         delay: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         label: str = "",
+        args: tuple[Any, ...] = (),
     ) -> Event:
-        """Schedule ``action`` to run ``delay`` ms from now.
+        """Schedule ``action(*args)`` to run ``delay`` ms from now.
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
         """
         if delay < 0:
             raise SchedulerError(f"cannot schedule in the past: delay={delay}")
-        event = Event(time=self.clock.now + delay, seq=self._seq, action=action, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(
+            time=self.clock._now + delay,
+            seq=seq,
+            action=action,
+            args=args,
+            label=label,
+            scheduler=self,
+        )
+        heapq.heappush(self._heap, (event.time, seq, _CANCELLABLE, event))
         return event
 
     def schedule_at(
         self,
         time: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         label: str = "",
+        args: tuple[Any, ...] = (),
     ) -> Event:
         """Schedule ``action`` at an absolute simulated time."""
-        if time < self.clock.now:
+        if time < self.clock._now:
             raise SchedulerError(
-                f"cannot schedule at {time}, now is {self.clock.now}"
+                f"cannot schedule at {time}, now is {self.clock._now}"
             )
-        event = Event(time=time, seq=self._seq, action=action, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(
+            time=time, seq=seq, action=action, args=args, label=label, scheduler=self
+        )
+        heapq.heappush(self._heap, (time, seq, _CANCELLABLE, event))
         return event
+
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """An :class:`Event` in the heap was cancelled (called by the event).
+
+        Keeps :attr:`pending` exact and compacts the heap once cancelled
+        entries outnumber live ones.
+        """
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) so the run loop's local heap binding
+        stays valid when a handler's cancel triggers compaction mid-run.
+        Pop order is unaffected: surviving entries keep their (time, seq)
+        keys, and heapify restores the heap invariant over exactly those.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry
+            for entry in heap
+            if entry[2] is not _CANCELLABLE or not entry[3].cancelled
+        ]
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
+
+    # -- running -------------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
+        heap = self._heap
+        while heap:
+            time, _seq, action, payload = heapq.heappop(heap)
+            if action is _CANCELLABLE:
+                if payload.cancelled:
+                    self._cancelled -= 1
+                    continue
+                action = payload.action
+                payload = payload.args
+            self.clock.advance_to(time)
             self._fired += 1
-            event.fire()
+            action(*payload)
             return True
         return False
 
@@ -96,15 +214,32 @@ class EventScheduler:
         if self._running:
             raise SchedulerError("scheduler is not re-entrant")
         self._running = True
+        # The hot loop: locals for everything, no step()/fire() dispatch.
+        # Handlers push into the same heap list; _compact mutates it in
+        # place, so the local binding stays correct.
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         fired = 0
         try:
-            while self.step():
+            while heap:
+                time, _seq, action, payload = heappop(heap)
+                if action is _CANCELLABLE:
+                    if payload.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    action = payload.action
+                    payload = payload.args
+                # Heap order guarantees monotonic time; assign directly.
+                clock._now = time
                 fired += 1
+                action(*payload)
                 if fired > max_events:
                     raise SchedulerError(
                         f"exceeded {max_events} events; runaway simulation?"
                     )
         finally:
+            self._fired += fired
             self._running = False
         return fired
 
@@ -113,22 +248,39 @@ class EventScheduler:
         if self._running:
             raise SchedulerError("scheduler is not re-entrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         fired = 0
         try:
             while not predicate():
-                if not self.step():
+                live = False
+                while heap:
+                    time, _seq, action, payload = heappop(heap)
+                    if action is _CANCELLABLE:
+                        if payload.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        action = payload.action
+                        payload = payload.args
+                    clock._now = time
+                    fired += 1
+                    action(*payload)
+                    live = True
                     break
-                fired += 1
+                if not live:
+                    break
                 if fired > max_events:
                     raise SchedulerError(
                         f"exceeded {max_events} events; runaway simulation?"
                     )
         finally:
+            self._fired += fired
             self._running = False
         return fired
 
     def __repr__(self) -> str:
         return (
-            f"EventScheduler(now={self.clock.now:.3f}, pending={self.pending}, "
+            f"EventScheduler(now={self.clock._now:.3f}, pending={self.pending}, "
             f"fired={self._fired})"
         )

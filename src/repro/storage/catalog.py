@@ -42,6 +42,16 @@ class ReplicationCatalog:
         except KeyError:
             raise StorageError(f"unknown item {item_id}") from None
 
+    def holders_view(self, item_id: int) -> set[int]:
+        """The live holder set for ``item_id`` — treat as read-only.
+
+        Hot-path variant of :meth:`holders` without the defensive copy.
+        """
+        try:
+            return self._holders[item_id]
+        except KeyError:
+            raise StorageError(f"unknown item {item_id}") from None
+
     def holds(self, site_id: int, item_id: int) -> bool:
         """Whether ``site_id`` holds a copy of ``item_id``."""
         try:

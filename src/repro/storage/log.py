@@ -42,17 +42,18 @@ class RedoLog:
         time: float,
     ) -> LogRecord:
         """Record one write; returns the new record."""
+        records = self._records
         record = LogRecord(
-            lsn=len(self._records) + 1,
-            txn_id=txn_id,
-            item_id=item_id,
-            old_value=old_value,
-            new_value=new_value,
-            old_version=old_version,
-            new_version=new_version,
-            time=time,
+            len(records) + 1,
+            txn_id,
+            item_id,
+            old_value,
+            new_value,
+            old_version,
+            new_version,
+            time,
         )
-        self._records.append(record)
+        records.append(record)
         return record
 
     @property

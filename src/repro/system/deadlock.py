@@ -25,9 +25,16 @@ class GlobalDeadlockDetector:
     def __init__(self) -> None:
         # waiter -> site -> blockers at that site.
         self._waits: dict[int, dict[int, tuple[int, ...]]] = {}
+        # waiter -> union of its blockers across sites, maintained
+        # incrementally so detection never rebuilds the whole graph.
+        self._union: dict[int, set[int]] = {}
         # txn -> callable(ctx) that aborts the transaction at its
         # coordinator; registered when the coordinator starts the txn.
         self._abort_fns: dict[int, Callable[[HandlerContext], None]] = {}
+        # True when the last detection aborted a victim: a second,
+        # disjoint cycle may have survived (the detector reports at most
+        # one cycle per block), so the next detection must scan globally.
+        self._dirty = False
         self.deadlocks_found = 0
         self.victims: list[int] = []
 
@@ -40,9 +47,16 @@ class GlobalDeadlockDetector:
     def forget(self, txn_id: int) -> None:
         """A transaction finished (commit or abort): drop all its state."""
         self._waits.pop(txn_id, None)
+        self._union.pop(txn_id, None)
         self._abort_fns.pop(txn_id, None)
 
     # -- wait bookkeeping ----------------------------------------------------------
+
+    def _reunion(self, waiter: int, sites: dict[int, tuple[int, ...]]) -> None:
+        union: set[int] = set()
+        for blockers in sites.values():
+            union.update(blockers)
+        self._union[waiter] = union
 
     def block(
         self,
@@ -55,8 +69,12 @@ class GlobalDeadlockDetector:
         real = tuple(b for b in blockers if b != waiter)
         if not real:
             return
-        self._waits.setdefault(waiter, {})[site_id] = real
-        self._detect(ctx)
+        sites = self._waits.get(waiter)
+        if sites is None:
+            sites = self._waits[waiter] = {}
+        sites[site_id] = real
+        self._reunion(waiter, sites)
+        self._detect(ctx, waiter)
 
     def unblock(self, site_id: int, waiter: int) -> None:
         """``waiter`` stopped waiting at ``site_id`` (other sites may still
@@ -66,6 +84,9 @@ class GlobalDeadlockDetector:
             sites.pop(site_id, None)
             if not sites:
                 del self._waits[waiter]
+                self._union.pop(waiter, None)
+            else:
+                self._reunion(waiter, sites)
 
     def edges(self) -> list[tuple[int, int]]:
         """The current global waits-for edges, sorted."""
@@ -78,13 +99,22 @@ class GlobalDeadlockDetector:
 
     # -- detection -----------------------------------------------------------------
 
-    def _detect(self, ctx: HandlerContext) -> None:
+    def _detect(self, ctx: HandlerContext, waiter: int) -> None:
+        # Cheap existence test first; only a genuine cycle pays for the
+        # deterministic full-graph DFS whose traversal order fixes which
+        # cycle is reported and which victim dies.
+        edges = self._union
+        if self._dirty:
+            if self._is_acyclic(edges):
+                self._dirty = False
+                return
+        elif not self._reaches(edges, waiter):
+            # The graph was acyclic before this block(), so any new cycle
+            # passes through ``waiter``; none does.
+            return
         graph = WaitsForGraph()
-        for waiter, sites in self._waits.items():
-            for blockers in sites.values():
-                live = tuple(b for b in blockers if b != waiter)
-                if live:
-                    graph.add_waits(waiter, live)
+        for node, blockers in edges.items():
+            graph.add_waits(node, tuple(blockers))
         cycle = graph.find_cycle()
         if not cycle:
             return
@@ -93,8 +123,49 @@ class GlobalDeadlockDetector:
         self.victims.append(victim)
         abort_fn = self._abort_fns.get(victim)
         self.forget(victim)
+        # Breaking one cycle may leave another; rescan globally next time.
+        self._dirty = True
         if abort_fn is not None:
             abort_fn(ctx)
+
+    @staticmethod
+    def _reaches(edges: dict[int, set[int]], waiter: int) -> bool:
+        """Whether ``waiter`` can reach itself (pure existence check —
+        traversal order never leaks into the result)."""
+        stack = list(edges.get(waiter, ()))
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == waiter:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            nxt = edges.get(node)
+            if nxt:
+                stack.extend(nxt)
+        return False
+
+    @staticmethod
+    def _is_acyclic(edges: dict[int, set[int]]) -> bool:
+        """Kahn's algorithm over the union graph."""
+        indeg: dict[int, int] = dict.fromkeys(edges, 0)
+        for blockers in edges.values():
+            for b in blockers:
+                if b in indeg:
+                    indeg[b] += 1
+                else:
+                    indeg[b] = 1
+        ready = [n for n, d in indeg.items() if d == 0]
+        remaining = len(indeg)
+        while ready:
+            node = ready.pop()
+            remaining -= 1
+            for b in edges.get(node, ()):
+                indeg[b] -= 1
+                if indeg[b] == 0:
+                    ready.append(b)
+        return remaining == 0
 
     def __repr__(self) -> str:
         return (

@@ -41,6 +41,8 @@ class OpenLoopResult:
     latency: Summary
     lock_parks: int
     retries: int = 0
+    # Scheduler events fired during the run (benchmark denominator).
+    events_fired: int = 0
     records: list[TxnRecord] = field(repr=False, default_factory=list)
 
     @property
@@ -232,5 +234,6 @@ def run_open_loop(
         latency=summarize(latencies),
         lock_parks=parks,
         retries=manager.retries_issued,
+        events_fired=cluster.scheduler.fired,
         records=metrics.txns,
     )

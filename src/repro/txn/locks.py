@@ -52,6 +52,10 @@ class LockManager:
 
     def __init__(self) -> None:
         self._table: dict[int, _LockEntry] = {}
+        # txn -> items it holds or queues on.  Invariant: a transaction in
+        # any entry's holders or queue has that item in its touched set, so
+        # release_all visits only those entries instead of the whole table.
+        self._touched: dict[int, set[int]] = {}
         self.grants = 0
         self.waits = 0
 
@@ -90,6 +94,10 @@ class LockManager:
             return LockGrant(granted=False, waiting_for=blockers)
         # Fresh request: grant if compatible with every holder and nobody
         # is already queued (queue-jumping would starve writers).
+        touched = self._touched.get(txn_id)
+        if touched is None:
+            touched = self._touched[txn_id] = set()
+        touched.add(item_id)
         compatible = all(mode.compatible_with(m) for m in entry.holders.values())
         if compatible and not entry.queue:
             entry.holders[txn_id] = mode
@@ -107,9 +115,19 @@ class LockManager:
         caller can resume the newly unblocked transactions.
         """
         granted: dict[int, list[int]] = {}
-        for item_id, entry in self._table.items():
+        touched = self._touched.pop(txn_id, None)
+        if not touched:
+            return granted
+        # Only entries the transaction touched can have changed; untouched
+        # queues were already non-grantable and stay that way (requests
+        # only ever add holders or queue tails, which never unblock a
+        # queue head — promotion happens exclusively here).
+        table = self._table
+        for item_id in sorted(touched):
+            entry = table[item_id]
             entry.holders.pop(txn_id, None)
-            entry.queue[:] = [(t, m) for t, m in entry.queue if t != txn_id]
+            if entry.queue:
+                entry.queue[:] = [(t, m) for t, m in entry.queue if t != txn_id]
             newly = self._promote(entry)
             if newly:
                 granted[item_id] = newly

@@ -52,24 +52,31 @@ class Transaction:
     finished_at: float = -1.0
     reads: dict[int, int] = field(default_factory=dict)
     writes: dict[int, int] = field(default_factory=dict)
+    # Lazily computed caches for read_items/write_items: ``ops`` never
+    # changes after construction, and these are consulted on every hot
+    # protocol step (planning, locking, reporting).
+    _read_items: list[int] | None = field(default=None, repr=False, compare=False)
+    _write_items: list[int] | None = field(default=None, repr=False, compare=False)
 
     @property
     def read_items(self) -> list[int]:
         """Distinct items read, in first-touch order."""
-        seen: list[int] = []
-        for op in self.ops:
-            if op.is_read and op.item_id not in seen:
-                seen.append(op.item_id)
-        return seen
+        items = self._read_items
+        if items is None:
+            items = self._read_items = list(
+                dict.fromkeys(op.item_id for op in self.ops if op.is_read)
+            )
+        return items
 
     @property
     def write_items(self) -> list[int]:
         """Distinct items written, in first-touch order."""
-        seen: list[int] = []
-        for op in self.ops:
-            if op.is_write and op.item_id not in seen:
-                seen.append(op.item_id)
-        return seen
+        items = self._write_items
+        if items is None:
+            items = self._write_items = list(
+                dict.fromkeys(op.item_id for op in self.ops if op.is_write)
+            )
+        return items
 
     @property
     def size(self) -> int:

@@ -1,0 +1,169 @@
+"""repro.perf: parallel executor determinism + the benchmark harness.
+
+The load-bearing property is the first test: a parallel sweep is *equal*
+to a serial one — full dataclass equality over every per-seed result,
+not a statistical resemblance.  Everything else (bench schema, the CI
+regression gate, CLI wiring) rides on top of that.
+"""
+
+import json
+
+from repro.chaos import FaultPlan, run_seed_sweep
+from repro.cli import main
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    check_regression,
+    run_simcore_bench,
+    run_sweep_bench,
+    validate_simcore_doc,
+    validate_sweep_doc,
+)
+from repro.perf.parallel import parallel_map, run_parallel_seed_sweep
+
+
+# -- parallel executor -------------------------------------------------------
+
+
+def test_parallel_map_serial_fallback():
+    assert parallel_map(str, range(5)) == ["0", "1", "2", "3", "4"]
+    assert parallel_map(str, range(5), jobs=1) == ["0", "1", "2", "3", "4"]
+
+
+def test_parallel_map_preserves_input_order():
+    assert parallel_map(str, range(8), jobs=3) == [str(i) for i in range(8)]
+
+
+def test_parallel_sweep_identical_to_serial():
+    serial = run_seed_sweep(range(42, 46), txns=20)
+    parallel = run_seed_sweep(range(42, 46), txns=20, jobs=3)
+    assert parallel.seeds == serial.seeds
+    # Full dataclass equality: commits, aborts, sim time, fault counts,
+    # violations, events_fired — everything.
+    assert parallel.results == serial.results
+    assert all(r.events_fired > 0 for r in serial.results)
+
+
+def test_parallel_sweep_lossy_core_identical():
+    # The retransmission + timeout layers are the most timing-entangled
+    # code paths; they too must replay identically across processes.
+    plan = FaultPlan.lossy()
+    serial = run_seed_sweep(range(7, 10), txns=15, plan=plan)
+    parallel = run_seed_sweep(range(7, 10), txns=15, plan=plan, jobs=2)
+    assert parallel.results == serial.results
+
+
+def test_run_parallel_seed_sweep_direct():
+    report = run_parallel_seed_sweep(range(42, 44), txns=10, jobs=2)
+    assert report.seeds == [42, 43]
+    assert not report.mutated
+
+
+# -- benchmark harness -------------------------------------------------------
+
+
+def test_simcore_bench_schema():
+    doc = run_simcore_bench(quick=True)
+    assert validate_simcore_doc(doc) == []
+    assert doc["quick"] is True
+    for entry in doc["presets"].values():
+        assert entry["speedup"] > 0
+
+
+def test_sweep_bench_schema_and_determinism():
+    doc = run_sweep_bench(quick=True, jobs=2)
+    assert validate_sweep_doc(doc) == []
+    assert doc["identical"] is True
+    assert doc["jobs"] == 2
+
+
+def _simcore_doc(events_per_sec):
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "simcore",
+        "quick": True,
+        "presets": {
+            name: {
+                "events": 1000,
+                "wall_s": 1000 / eps,
+                "events_per_sec": eps,
+                "peak_rss_kb": 50000,
+                "baseline_events_per_sec": eps / 2,
+                "speedup": 2.0,
+            }
+            for name, eps in events_per_sec.items()
+        },
+    }
+
+
+def test_check_regression_flags_only_big_drops():
+    committed = _simcore_doc(
+        {"concurrent": 100.0, "chaos": 100.0, "serial": 100.0}
+    )
+    fine = _simcore_doc({"concurrent": 80.0, "chaos": 71.0, "serial": 400.0})
+    assert check_regression(committed, fine, tolerance=0.30) == []
+    regressed = _simcore_doc(
+        {"concurrent": 60.0, "chaos": 100.0, "serial": 100.0}
+    )
+    problems = check_regression(committed, regressed, tolerance=0.30)
+    assert len(problems) == 1
+    assert problems[0].startswith("concurrent:")
+
+
+def test_validate_simcore_rejects_garbage():
+    assert validate_simcore_doc([]) == ["expected a JSON object"]
+    doc = _simcore_doc({"concurrent": 100.0, "chaos": 100.0, "serial": 100.0})
+    doc["presets"]["chaos"]["events"] = 0
+    assert any("chaos.events" in p for p in validate_simcore_doc(doc))
+    del doc["presets"]["serial"]
+    assert any("serial: missing" in p for p in validate_simcore_doc(doc))
+
+
+def test_validate_sweep_rejects_divergence():
+    doc = run_sweep_bench(quick=True, jobs=2)
+    doc["identical"] = False
+    assert any("diverged" in p for p in validate_sweep_doc(doc))
+
+
+# -- experiment replication fan-out ------------------------------------------
+
+
+def test_replicate_parallel_matches_serial():
+    from repro.experiments import repeats
+
+    serial = repeats.replicate_scenario2(seeds=(1, 2))
+    parallel = repeats.replicate_scenario2(seeds=(1, 2), jobs=2)
+    assert parallel.values == serial.values
+
+
+# -- CLI wiring --------------------------------------------------------------
+
+
+def test_cli_bench_write_then_check(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--quick", "--write"]) == 0
+    doc = json.loads((tmp_path / "BENCH_simcore.json").read_text())
+    assert validate_simcore_doc(doc) == []
+    sweep = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+    assert validate_sweep_doc(sweep) == []
+    # A fresh measurement against the artifact just written cannot have
+    # regressed beyond tolerance.
+    assert main(["bench", "--quick", "--check"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_bench_check_missing_artifact(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--quick", "--check"]) == 1
+    assert "BENCH_simcore.json" in capsys.readouterr().err
+
+
+def test_cli_chaos_jobs(capsys):
+    assert main(["chaos", "--seeds", "2", "--txns", "10", "--jobs", "2"]) == 0
+    assert "seeds" in capsys.readouterr().out
+
+
+def test_cli_profile_flag(capsys):
+    assert main(["--profile", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+    assert "function calls" in out

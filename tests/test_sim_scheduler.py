@@ -70,6 +70,59 @@ def test_cancelled_event_does_not_fire():
     assert fired == []
 
 
+def test_pending_excludes_cancelled():
+    sched = EventScheduler()
+    events = [sched.schedule(float(i + 1), lambda: None) for i in range(5)]
+    events[1].cancel()
+    events[3].cancel()
+    assert sched.pending == 3
+
+
+def test_compaction_under_timer_churn():
+    # Retransmission-style churn: a pile of timers, nearly all cancelled
+    # (acked) before they fire.  The heap must compact, the live count must
+    # stay exact, and survivors must still fire in order.
+    sched = EventScheduler()
+    fired = []
+    events = [
+        sched.schedule(100.0 + i, lambda i=i: fired.append(i))
+        for i in range(400)
+    ]
+    for i, event in enumerate(events):
+        if i % 20 != 0:
+            event.cancel()
+    live = [i for i in range(400) if i % 20 == 0]
+    assert sched.compactions > 0
+    assert sched.pending == len(live)
+    sched.run()
+    assert fired == live
+    assert sched.pending == 0
+
+
+def test_compaction_during_run_keeps_heap_valid():
+    # Cancel-and-rearm while the run loop holds its local heap binding:
+    # compaction happens mid-run and must not strand or reorder entries.
+    sched = EventScheduler()
+    fired = []
+    armed = []
+
+    def tick(n):
+        if armed:
+            armed.pop().cancel()
+        if n < 300:
+            fired.append(n)
+            armed.append(
+                sched.schedule(1000.0, lambda: fired.append("timeout"))
+            )
+            sched.schedule(1.0, tick, args=(n + 1,))
+
+    sched.schedule(1.0, tick, args=(0,))
+    sched.run()
+    assert fired == list(range(300))
+    assert sched.compactions > 0
+    assert sched.pending == 0
+
+
 def test_step_returns_false_when_empty():
     assert EventScheduler().step() is False
 
