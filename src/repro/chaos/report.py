@@ -67,12 +67,33 @@ def format_sweep_report(report: ChaosSweepReport) -> str:
     if dirty:
         lines.append("")
         lines.append(f"violations by seed ({len(dirty)} dirty):")
+        # Dedupe by violation fingerprint: the first seed exhibiting a
+        # violating schedule prints it in full; later seeds with the same
+        # fingerprint (same invariants, same descriptions, different sim
+        # times at most) get a one-line back-reference.  Mutated sweeps
+        # otherwise drown the report in copies of one planted bug.
+        first_seed_of: dict[str, int] = {}
         for result in report.results:
             if result.clean:
                 continue
-            lines.append(f"  seed {result.seed}:")
+            fingerprint = result.violation_fingerprint()
+            earlier = first_seed_of.get(fingerprint)
+            if earlier is not None:
+                lines.append(
+                    f"  seed {result.seed}: same as seed {earlier} "
+                    f"[sig {fingerprint}]"
+                )
+                continue
+            first_seed_of[fingerprint] = result.seed
+            lines.append(f"  seed {result.seed}: [sig {fingerprint}]")
             for record in result.violations:
                 lines.append(f"    {record.format()}")
+        duplicates = len(dirty) - len(first_seed_of)
+        if duplicates:
+            lines.append(
+                f"  ({len(first_seed_of)} distinct violation signature(s); "
+                f"{duplicates} duplicate seed(s) collapsed)"
+            )
     else:
         lines.append("no invariant violations.")
     return "\n".join(lines) + "\n"

@@ -110,6 +110,29 @@ class ChaosRunResult:
         """True if no invariant violation was flagged."""
         return not self.violations
 
+    def violation_fingerprint(self) -> str:
+        """Stable digest of *what* went wrong, ignoring *when*.
+
+        Hashes the ordered (invariant, description, txn, site, item)
+        tuples of every violation — everything but the sim-time field, so
+        two seeds whose schedules produce the same violating behaviour at
+        different instants collapse to one fingerprint.  Empty string for
+        clean runs.  Used by the sweep report to dedupe repeated
+        violating schedules, and stable across processes (``hashlib``,
+        not the ``PYTHONHASHSEED``-randomized builtin ``hash``).
+        """
+        if not self.violations:
+            return ""
+        import hashlib
+
+        raw = repr(
+            [
+                (v.invariant, v.description, v.txn_id, v.site_id, v.item_id)
+                for v in self.violations
+            ]
+        )
+        return hashlib.blake2b(raw.encode(), digest_size=8).hexdigest()
+
 
 @dataclass(slots=True)
 class ChaosSweepReport:

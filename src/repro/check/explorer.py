@@ -1,0 +1,154 @@
+"""Bounded DFS over the schedule space, with pruning.
+
+Stateless-search style: the explorer holds no simulator state, only a
+stack of decision-vector prefixes.  Popping a prefix re-executes the
+whole run (cheap — these are small configurations by design), then
+expands every *new* branch point the run encountered past its prefix:
+
+* **Visited-state pruning** — each :class:`Decision` carries a
+  fingerprint of (cluster state, choice kind, candidate labels).  Two
+  runs that arrive at the same fingerprint face the same subtree, so the
+  alternatives at it are expanded once, ever.
+* **Sleep-set-style pruning** (heuristic, on by default) — at an order
+  point, the alternative "fire the delivery to site X first" is skipped
+  when every candidate ahead of it is a delivery to a *different* site:
+  same-instant deliveries to distinct sites commute (distinct endpoint
+  state, distinct channels), so the permuted interleaving reaches a
+  state the default order also reaches.  It is labelled a heuristic
+  because downstream tie-break *sequence numbers* still differ; disable
+  with ``sleep_sets=False`` (or ``--no-sleep-sets``) to search the
+  unpruned space.
+* **Budgets** — ``max_runs`` bounds total re-executions, ``max_depth``
+  bounds how deep in the decision sequence new branches are opened.
+  ``budget_exhausted`` in the stats says the frontier was not empty when
+  the explorer stopped.
+
+Fault/fate alternatives are expanded before order alternatives (the
+bug-dense part of the space first); within a priority class, shallower
+branch points first.  The whole search is a pure function of
+(config, budgets): same inputs, same visited-state count, same
+counterexample — byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.check.choices import Decision
+from repro.check.runner import CheckConfig, CheckRunResult, run_schedule
+from repro.metrics.records import ViolationRecord
+
+__all__ = ["ExplorationStats", "ExplorationResult", "explore"]
+
+# Expansion priority by choice kind: crash/drop placements find protocol
+# bugs far more often than event permutations, so they go first.
+_KIND_PRIORITY = {"fault": 0, "fate": 0, "order": 1}
+
+
+@dataclass(slots=True)
+class ExplorationStats:
+    """Search-effort accounting (deterministic per config + budgets)."""
+
+    runs: int = 0
+    states: int = 0          # distinct branch-point fingerprints expanded
+    pruned_visited: int = 0  # branch points skipped: fingerprint seen
+    pruned_sleep: int = 0    # alternatives skipped: commuting deliveries
+    violations_found: int = 0
+    budget_exhausted: bool = False
+
+
+@dataclass(slots=True)
+class ExplorationResult:
+    """What a bounded exploration established."""
+
+    config: CheckConfig
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    # First violating schedule found (canonical executed vector), if any.
+    counterexample: Optional[list[int]] = None
+    violation: Optional[ViolationRecord] = None
+    counterexample_run: Optional[CheckRunResult] = None
+
+    @property
+    def found(self) -> bool:
+        return self.counterexample is not None
+
+
+def _sleep_prunable(decision: Decision, alt: int) -> bool:
+    """Whether alternative ``alt`` commutes with every earlier candidate."""
+    if decision.kind != "order" or len(decision.dep_keys) != decision.arity:
+        return False
+    key = decision.dep_keys[alt]
+    if key[0] != "deliver":
+        return False
+    dst = key[2]
+    for earlier in decision.dep_keys[:alt]:
+        if earlier[0] != "deliver" or earlier[2] == dst:
+            return False
+    return True
+
+
+def explore(
+    config: CheckConfig,
+    *,
+    max_runs: int = 200,
+    max_depth: int = 40,
+    stop_on_violation: bool = True,
+    sleep_sets: bool = True,
+) -> ExplorationResult:
+    """Bounded-DFS the schedule space of ``config``.
+
+    Returns when a violation is found (unless ``stop_on_violation`` is
+    False), the frontier empties (the bounded space is exhausted), or
+    ``max_runs`` re-executions are spent.
+    """
+    stats = ExplorationStats()
+    result = ExplorationResult(config=config, stats=stats)
+    expanded: set[str] = set()
+    # LIFO frontier of decision-vector prefixes; starts at the root (the
+    # unperturbed run).
+    frontier: list[list[int]] = [[]]
+
+    while frontier:
+        if stats.runs >= max_runs:
+            stats.budget_exhausted = True
+            break
+        prefix = frontier.pop()
+        run = run_schedule(config, prefix)
+        stats.runs += 1
+
+        if run.violations:
+            stats.violations_found += 1
+            if result.counterexample is None:
+                result.counterexample = run.chosen
+                result.violation = run.violations[0]
+                result.counterexample_run = run
+            if stop_on_violation:
+                break
+            continue  # don't open branches below a violating schedule
+
+        children: list[tuple[int, int, list[int]]] = []
+        for index, decision in enumerate(run.decisions):
+            if index < len(prefix):
+                continue  # fixed by the prefix; expanded by an ancestor
+            if index >= max_depth:
+                break
+            if decision.arity < 2:
+                continue
+            if decision.fingerprint in expanded:
+                stats.pruned_visited += 1
+                continue
+            expanded.add(decision.fingerprint)
+            base = [d.chosen for d in run.decisions[:index]]
+            priority = _KIND_PRIORITY.get(decision.kind, 1)
+            for alt in range(1, decision.arity):
+                if sleep_sets and _sleep_prunable(decision, alt):
+                    stats.pruned_sleep += 1
+                    continue
+                children.append((priority, index, base + [alt]))
+        # Highest-priority, shallowest child on top of the LIFO frontier.
+        children.sort(key=lambda c: (c[0], c[1], c[2]))
+        frontier.extend(vec for _p, _i, vec in reversed(children))
+
+    stats.states = len(expanded)
+    return result

@@ -1,0 +1,142 @@
+"""Delta-debugging a violating schedule to a minimal counterexample.
+
+A decision vector is a list of deviations from the default schedule:
+entry 0 *is* the default, so "remove this deviation" means "zero this
+position" — no list surgery, and (because vectors are advice, degrading
+to defaults wherever they go stale) every candidate the minimizer
+proposes is a well-defined run.  Three passes:
+
+1. **ddmin** over the nonzero positions (Zeller & Hildebrandt's
+   algorithm): try keeping only chunks / only complements of chunks of
+   the deviation set, refining the chunk size until single deviations
+   can't be removed.
+2. **Value lowering**: for each surviving position, try each smaller
+   nonzero alternative (closer to the default order).
+3. **Canonicalization**: re-run the minimized vector and keep the
+   *executed* decisions (truncated of trailing defaults), so the
+   reported counterexample is exactly what a replay will do.
+
+The result is 1-minimal with respect to the target invariant: zeroing
+any single remaining deviation loses the violation.  Like everything in
+:mod:`repro.check`, shrinking is deterministic — same config + vector
+in, same minimal schedule out, in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.check.runner import CheckConfig, CheckRunResult, run_schedule
+from repro.errors import CheckError
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """A minimized counterexample and the effort spent reaching it."""
+
+    vector: list[int] = field(default_factory=list)
+    invariant: str = ""
+    tests_run: int = 0
+    removed: int = 0   # deviations eliminated from the original vector
+    run: Optional[CheckRunResult] = None
+
+
+def shrink(
+    config: CheckConfig,
+    vector: Sequence[int],
+    invariant: Optional[str] = None,
+) -> ShrinkResult:
+    """Minimize ``vector`` while preserving a violation.
+
+    ``invariant`` pins which violation must survive; by default it is the
+    first invariant the unshrunk schedule violates (shrinking must not
+    "succeed" by trading the reported bug for a different one).
+    """
+    base = list(vector)
+    tests = 0
+
+    first = run_schedule(config, base)
+    tests += 1
+    if not first.violations:
+        raise CheckError(
+            "schedule does not violate any invariant under this config; "
+            "nothing to shrink"
+        )
+    if invariant is None:
+        invariant = first.violations[0].invariant
+
+    def failing(candidate: list[int]) -> bool:
+        nonlocal tests
+        tests += 1
+        run = run_schedule(config, candidate)
+        return any(v.invariant == invariant for v in run.violations)
+
+    if not any(v.invariant == invariant for v in first.violations):
+        raise CheckError(
+            f"schedule does not violate invariant {invariant!r}"
+        )
+
+    positions = [i for i, v in enumerate(base) if v != 0]
+    original_deviations = len(positions)
+
+    def keeping(keep: Sequence[int]) -> list[int]:
+        kept = set(keep)
+        return [v if i in kept else 0 for i, v in enumerate(base)]
+
+    # Pass 1: ddmin over deviation positions.
+    granularity = 2
+    while len(positions) >= 2:
+        chunk_size = max(1, len(positions) // granularity)
+        chunks = [
+            positions[i : i + chunk_size]
+            for i in range(0, len(positions), chunk_size)
+        ]
+        reduced = False
+        for i, chunk in enumerate(chunks):
+            if len(chunk) < len(positions) and failing(keeping(chunk)):
+                positions = chunk
+                granularity = 2
+                reduced = True
+                break
+            complement = [p for j, c in enumerate(chunks) if j != i for p in c]
+            if complement and len(complement) < len(positions) and failing(
+                keeping(complement)
+            ):
+                positions = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(positions):
+                break
+            granularity = min(len(positions), granularity * 2)
+    if len(positions) == 1 and failing(keeping([])):
+        positions = []
+    base = keeping(positions)
+
+    # Pass 2: lower surviving deviations toward the default.
+    for position in positions:
+        for lower in range(1, base[position]):
+            candidate = list(base)
+            candidate[position] = lower
+            if failing(candidate):
+                base = candidate
+                break
+
+    # Pass 3: canonicalize against an actual execution.
+    final = run_schedule(config, base)
+    tests += 1
+    minimal = [d.chosen for d in final.decisions]
+    while minimal and minimal[-1] == 0:
+        minimal.pop()
+
+    return ShrinkResult(
+        vector=minimal,
+        invariant=invariant,
+        tests_run=tests,
+        removed=original_deviations - sum(1 for v in minimal if v != 0),
+        run=final,
+    )

@@ -379,6 +379,284 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_config_from_args(args: argparse.Namespace) -> "object":
+    from repro.check import CheckConfig
+
+    kinds = {k.strip() for k in args.explore.split(",") if k.strip()}
+    unknown = kinds - {"order", "fates", "faults"}
+    if unknown:
+        print(
+            f"error: unknown choice kinds {sorted(unknown)} "
+            "(valid: order, fates, faults)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return CheckConfig(
+        sites=args.sites,
+        db_size=args.db,
+        txns=args.txns,
+        seed=args.seed,
+        mutate=args.mutate,
+        explore_order="order" in kinds,
+        explore_fates="fates" in kinds,
+        explore_faults="faults" in kinds,
+        max_branch=args.max_branch,
+        max_drops=args.max_drops,
+        max_crashes=args.max_crashes,
+        max_recoveries=args.max_recoveries,
+        min_up=args.min_up,
+    )
+
+
+def _print_check_stats(stats: "object") -> None:
+    print(
+        f"runs: {stats.runs}, states: {stats.states}, "
+        f"pruned: {stats.pruned_visited} visited + {stats.pruned_sleep} sleep, "
+        f"budget exhausted: {'yes' if stats.budget_exhausted else 'no'}"
+    )
+
+
+def _cmd_check_explore(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import build_schedule_doc, explore, save_schedule
+
+    config = _check_config_from_args(args)
+    result = explore(
+        config,
+        max_runs=args.max_runs,
+        max_depth=args.max_depth,
+        sleep_sets=not args.no_sleep_sets,
+    )
+    _print_check_stats(result.stats)
+    if result.found:
+        print(f"counterexample: {result.counterexample}")
+        print(f"violates: {result.violation.format()}")
+        if args.out:
+            save_schedule(
+                Path(args.out),
+                build_schedule_doc(
+                    config,
+                    result.counterexample,
+                    result.counterexample_run,
+                    note="found by repro check explore",
+                ),
+            )
+            print(f"wrote {args.out}")
+    else:
+        print("no violation found within budget")
+    if args.mutate:
+        # Mutation mode is an explorer self-test: exit 0 iff the planted
+        # bug was found (mirrors `repro chaos --mutate`).
+        return 0 if result.found else 1
+    return 1 if result.found else 0
+
+
+def _cmd_check_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import (
+        CheckConfig,
+        export_counterexample,
+        load_schedule,
+        run_schedule,
+    )
+    from repro.errors import CheckError
+
+    try:
+        doc = load_schedule(Path(args.file))
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = CheckConfig.from_dict(doc["config"])
+    if args.export:
+        _manifest, result = export_counterexample(
+            Path(args.export), config, doc["decisions"], note=doc.get("note", "")
+        )
+        print(f"exported obs artifacts -> {args.export}/")
+    else:
+        result = run_schedule(config, doc["decisions"])
+    print(
+        f"replayed {len(doc['decisions'])} decisions: "
+        f"{result.events_fired} events, {result.commits} commits, "
+        f"{result.aborts} aborts, "
+        f"{len(result.violations)} violations"
+    )
+    for record in result.violations:
+        print(f"  {record.format()}")
+    observed = doc.get("observed")
+    if observed is not None:
+        mismatches = []
+        if result.events_fired != observed["events_fired"]:
+            mismatches.append(
+                f"events_fired: replay {result.events_fired} != "
+                f"recorded {observed['events_fired']}"
+            )
+        recorded = [v["invariant"] for v in observed["violations"]]
+        replayed = [v.invariant for v in result.violations]
+        if replayed != recorded:
+            mismatches.append(
+                f"violations: replay {replayed} != recorded {recorded}"
+            )
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"DIVERGED: {mismatch}", file=sys.stderr)
+            return 1
+        print("replay matches the recorded run")
+    return 0
+
+
+def _cmd_check_shrink(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import (
+        CheckConfig,
+        build_schedule_doc,
+        load_schedule,
+        save_schedule,
+        shrink,
+    )
+    from repro.errors import CheckError
+
+    try:
+        doc = load_schedule(Path(args.file))
+        config = CheckConfig.from_dict(doc["config"])
+        result = shrink(config, doc["decisions"])
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"shrunk {doc['decisions']} -> {result.vector} "
+        f"({result.removed} deviations removed, {result.tests_run} test runs, "
+        f"invariant {result.invariant!r} preserved)"
+    )
+    out = args.out or args.file
+    save_schedule(
+        Path(out),
+        build_schedule_doc(
+            config,
+            result.vector,
+            result.run,
+            note=f"shrunk from {len(doc['decisions'])} decisions",
+        ),
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_check_stats(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check import load_schedule
+    from repro.errors import CheckError
+
+    try:
+        doc = load_schedule(Path(args.file))
+    except CheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = doc["config"]
+    decisions = doc["decisions"]
+    print(f"schedule {args.file} ({doc['schema']})")
+    print(
+        f"  system: {config['sites']} sites, {config['db_size']} items, "
+        f"{config['txns']} txns, seed {config['seed']}"
+        f"{', MUTATED' if config.get('mutate') else ''}"
+    )
+    kinds = [
+        kind
+        for kind, on in (
+            ("order", config.get("explore_order")),
+            ("fates", config.get("explore_fates")),
+            ("faults", config.get("explore_faults")),
+        )
+        if on
+    ]
+    print(f"  choice kinds: {', '.join(kinds) or 'none'}")
+    print(
+        f"  decisions: {decisions} "
+        f"({sum(1 for v in decisions if v)} deviations)"
+    )
+    observed = doc.get("observed")
+    if observed:
+        print(
+            f"  observed: {observed['events_fired']} events, "
+            f"{observed['commits']} commits, {observed['aborts']} aborts, "
+            f"{observed['choice_points']} choice points, "
+            f"{len(observed['violations'])} violations"
+        )
+        for violation in observed["violations"]:
+            print(
+                f"    t={violation['time']:.1f}ms [{violation['invariant']}] "
+                f"{violation['description']}"
+            )
+    if doc.get("note"):
+        print(f"  note: {doc['note']}")
+    return 0
+
+
+def _cmd_check_selftest(args: argparse.Namespace) -> int:
+    """End-to-end proof the checker catches real bugs.
+
+    Re-introduces the PR-1 protocol mutation (fail-lock setting
+    disabled), explores within a small budget, shrinks the counterexample
+    to a 1-minimal schedule, exports it with obs artifacts, and replays
+    the export in-process to verify it reproduces.  Exit 0 iff every
+    stage succeeds — this is what CI runs.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.check import (
+        CheckConfig,
+        explore,
+        export_counterexample,
+        load_schedule,
+        run_schedule,
+        shrink,
+    )
+    from repro.obs import validate_run_dir
+
+    config = CheckConfig(mutate=True)
+    result = explore(config, max_runs=args.max_runs)
+    _print_check_stats(result.stats)
+    if not result.found:
+        print("SELFTEST: explorer missed the planted mutation", file=sys.stderr)
+        return 1
+    print(f"found: {result.counterexample} ({result.violation.format()})")
+
+    shrunk = shrink(config, result.counterexample)
+    print(
+        f"shrunk to: {shrunk.vector} ({shrunk.tests_run} test runs, "
+        f"invariant {shrunk.invariant!r})"
+    )
+
+    out = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="check-"))
+    manifest, exported = export_counterexample(
+        out, config, shrunk.vector, note="mutation self-test counterexample"
+    )
+    problems = validate_run_dir(out)
+    if problems or not manifest["violations"]:
+        for problem in problems:
+            print(f"SELFTEST: export invalid: {problem}", file=sys.stderr)
+        if not manifest["violations"]:
+            print("SELFTEST: export lost the violation", file=sys.stderr)
+        return 1
+    print(f"exported counterexample + obs artifacts -> {out}/")
+
+    doc = load_schedule(out / "schedule.json")
+    replay = run_schedule(CheckConfig.from_dict(doc["config"]), doc["decisions"])
+    if (
+        replay.events_fired != exported.events_fired
+        or [v.invariant for v in replay.violations]
+        != [v.invariant for v in exported.violations]
+    ):
+        print("SELFTEST: replay diverged from export", file=sys.stderr)
+        return 1
+    print("replay reproduces the violation; selftest passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -517,6 +795,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--dir", default="run", help="exported run directory")
     validate.set_defaults(fn=_cmd_trace_validate)
+
+    check = sub.add_parser(
+        "check",
+        help="deterministic schedule-space exploration (repro.check)",
+    )
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+
+    def _add_shape_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sites", type=int, default=3, help="database sites")
+        p.add_argument("--db", type=int, default=8, help="data items")
+        p.add_argument("--txns", type=int, default=3, help="transactions")
+        p.add_argument(
+            "--mutate", action="store_true",
+            help="disable fail-lock setting (explorer self-test: exit 0 "
+            "iff a violating schedule is found)",
+        )
+        p.add_argument(
+            "--explore", default="order,faults",
+            help="comma-separated choice kinds: order, fates, faults",
+        )
+        p.add_argument(
+            "--max-branch", type=int, default=3,
+            help="alternatives offered per choice point",
+        )
+        p.add_argument(
+            "--max-drops", type=int, default=1,
+            help="fate choices: message drops per run",
+        )
+        p.add_argument(
+            "--max-crashes", type=int, default=1,
+            help="fault choices: crashes per run",
+        )
+        p.add_argument(
+            "--max-recoveries", type=int, default=1,
+            help="fault choices: recoveries per run",
+        )
+        p.add_argument(
+            "--min-up", type=int, default=1,
+            help="never crash below this many up sites",
+        )
+
+    explore_p = check_sub.add_parser(
+        "explore", help="bounded-DFS the schedule space for violations"
+    )
+    _add_shape_args(explore_p)
+    explore_p.add_argument(
+        "--max-runs", type=int, default=200,
+        help="total steered re-executions",
+    )
+    explore_p.add_argument(
+        "--max-depth", type=int, default=40,
+        help="deepest decision index to branch at",
+    )
+    explore_p.add_argument(
+        "--no-sleep-sets", action="store_true",
+        help="disable the commuting-deliveries pruning heuristic",
+    )
+    explore_p.add_argument(
+        "--out", default=None, help="write the counterexample schedule file"
+    )
+    explore_p.set_defaults(fn=_cmd_check_explore)
+
+    replay_p = check_sub.add_parser(
+        "replay",
+        help="re-execute a schedule file; exit 1 if it diverges from "
+        "the recorded run",
+    )
+    replay_p.add_argument("--file", required=True, help="schedule file")
+    replay_p.add_argument(
+        "--export", default=None,
+        help="also export obs artifacts (run.json, events.jsonl, "
+        "trace.json) to this directory",
+    )
+    replay_p.set_defaults(fn=_cmd_check_replay)
+
+    shrink_p = check_sub.add_parser(
+        "shrink", help="delta-debug a schedule file to a minimal one"
+    )
+    shrink_p.add_argument("--file", required=True, help="schedule file")
+    shrink_p.add_argument(
+        "--out", default=None,
+        help="write the shrunk schedule here (default: overwrite --file)",
+    )
+    shrink_p.set_defaults(fn=_cmd_check_shrink)
+
+    stats_p = check_sub.add_parser(
+        "stats", help="summarize a schedule file"
+    )
+    stats_p.add_argument("--file", required=True, help="schedule file")
+    stats_p.set_defaults(fn=_cmd_check_stats)
+
+    selftest_p = check_sub.add_parser(
+        "selftest",
+        help="plant the PR-1 protocol mutation; explore, shrink, export, "
+        "replay (exit 0 iff the whole pipeline succeeds — the CI smoke)",
+    )
+    selftest_p.add_argument(
+        "--max-runs", type=int, default=60,
+        help="exploration budget for the self-test",
+    )
+    selftest_p.add_argument(
+        "--out", default=None,
+        help="counterexample directory (default: a temp dir)",
+    )
+    selftest_p.set_defaults(fn=_cmd_check_selftest)
 
     bench = sub.add_parser(
         "bench", help="simulator benchmark harness (repro.perf)"

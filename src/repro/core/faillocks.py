@@ -76,6 +76,16 @@ class FailLockTable:
         """The raw bit mask for ``item_id``."""
         return self._mask(item_id)
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of all *set* fail-locks (``repro.check``).
+
+        Items with a zero mask are omitted so tables that track different
+        (but all-clear) item sets compare equal.
+        """
+        return tuple(
+            (item, mask) for item, mask in sorted(self._masks.items()) if mask
+        )
+
     # -- commit-time maintenance (paper §1.2) -----------------------------------
 
     def update_on_commit(

@@ -176,6 +176,13 @@ class NominalSessionVector:
         """A deep copy of all records (what a type-1 reply ships)."""
         return [self._records[s].copy() for s in self.site_ids]
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of the whole vector (``repro.check``)."""
+        return tuple(
+            (r.site_id, r.session, r.state.value)
+            for r in (self._records[s] for s in self._site_ids)
+        )
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{r.site_id}:{r.session}{'+' if r.state is SiteState.UP else '-'}"

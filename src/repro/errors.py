@@ -69,3 +69,7 @@ class LockError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload generator misconfiguration."""
+
+
+class CheckError(ReproError):
+    """A :mod:`repro.check` schedule or exploration request is invalid."""

@@ -278,14 +278,20 @@ def check_regression(
     for name, entry in committed.get("presets", {}).items():
         fresh_entry = fresh.get("presets", {}).get(name)
         if fresh_entry is None:
-            problems.append(f"{name}: missing from fresh measurement")
-            continue
-        floor = entry["events_per_sec"] * (1.0 - tolerance)
-        if fresh_entry["events_per_sec"] < floor:
             problems.append(
-                f"{name}: {fresh_entry['events_per_sec']:.0f} events/sec is "
-                f">{tolerance:.0%} below committed "
-                f"{entry['events_per_sec']:.0f}"
+                f"preset '{name}': metric events_per_sec missing from "
+                f"fresh measurement"
+            )
+            continue
+        committed_eps = entry["events_per_sec"]
+        fresh_eps = fresh_entry["events_per_sec"]
+        floor = committed_eps * (1.0 - tolerance)
+        if fresh_eps < floor:
+            drop = 1.0 - fresh_eps / committed_eps
+            problems.append(
+                f"preset '{name}': metric events_per_sec regressed "
+                f"{drop:.0%} (fresh {fresh_eps:.0f} vs committed "
+                f"{committed_eps:.0f}, tolerance {tolerance:.0%})"
             )
     return problems
 

@@ -21,6 +21,25 @@ docs/PERFORMANCE.md):
   and compacts the heap in place once cancelled entries outnumber live
   ones — timer-heavy workloads (retransmission backoff) would otherwise
   accumulate unbounded dead entries.
+
+Tie-break contract (a public guarantee)
+---------------------------------------
+
+Events scheduled for the **same simulated time fire in posting order**:
+every scheduling call (:meth:`post`, :meth:`post_at`, :meth:`schedule`,
+:meth:`schedule_at`) draws the next value of one shared insertion
+sequence, and the heap orders entries by ``(time, seq)``.  The guarantee
+holds across the fast path and the cancellable path, is unaffected by
+cancellations and heap compaction (surviving entries keep their keys),
+and is pinned by ``tests/test_sim_scheduler.py::test_tie_break_contract``.
+
+The :mod:`repro.check` model checker relies on this contract: its
+scheduler choice points enumerate *alternative* orderings of same-time
+events, which is only a well-defined schedule space because the default
+order is total and stable.  Installing :attr:`tie_breaker` routes
+:meth:`run` through a choice-aware loop; with the hook left ``None``
+(the default) the hot loop is byte-for-byte the original and every
+existing seed replays identically.
 """
 
 from __future__ import annotations
@@ -55,6 +74,14 @@ class EventScheduler:
         self._cancelled = 0
         self._running = False
         self.compactions = 0
+        # Optional schedule-space choice hook (repro.check).  When set,
+        # run() routes through _run_choosing, which hands every group of
+        # same-time live entries to the callable and fires the entry at
+        # the returned index first.  None (the default) keeps the
+        # original hot loop untouched.
+        self.tie_breaker: Optional[
+            Callable[[list[tuple[float, int, Any, Any]]], int]
+        ] = None
 
     @property
     def now(self) -> float:
@@ -213,6 +240,8 @@ class EventScheduler:
         """
         if self._running:
             raise SchedulerError("scheduler is not re-entrant")
+        if self.tie_breaker is not None:
+            return self._run_choosing(max_events)
         self._running = True
         # The hot loop: locals for everything, no step()/fire() dispatch.
         # Handlers push into the same heap list; _compact mutates it in
@@ -231,6 +260,59 @@ class EventScheduler:
                     action = payload.action
                     payload = payload.args
                 # Heap order guarantees monotonic time; assign directly.
+                clock._now = time
+                fired += 1
+                action(*payload)
+                if fired > max_events:
+                    raise SchedulerError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+        finally:
+            self._fired += fired
+            self._running = False
+        return fired
+
+    def _run_choosing(self, max_events: int) -> int:
+        """The choice-aware run loop behind :attr:`tie_breaker`.
+
+        Semantically identical to :meth:`run` except that whenever more
+        than one live entry is due at the minimum time, the whole tied
+        group (in ``(time, seq)`` order) is handed to the hook, which
+        returns the index of the entry to fire first.  The remaining tied
+        entries go back on the heap with their original keys, so the hook
+        is consulted again — with one fewer candidate — before the next
+        fire.  A hook that always returns 0 reproduces the default
+        tie-break contract exactly.
+        """
+        self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        clock = self.clock
+        choose = self.tie_breaker
+        fired = 0
+        try:
+            while heap:
+                entry = heappop(heap)
+                if entry[2] is _CANCELLABLE and entry[3].cancelled:
+                    self._cancelled -= 1
+                    continue
+                tied = [entry]
+                due = entry[0]
+                while heap and heap[0][0] == due:
+                    other = heappop(heap)
+                    if other[2] is _CANCELLABLE and other[3].cancelled:
+                        self._cancelled -= 1
+                        continue
+                    tied.append(other)
+                if len(tied) > 1:
+                    entry = tied.pop(choose(tied))
+                    for other in tied:
+                        heappush(heap, other)
+                time, _seq, action, payload = entry
+                if action is _CANCELLABLE:
+                    action = payload.action
+                    payload = payload.args
                 clock._now = time
                 fired += 1
                 action(*payload)

@@ -63,6 +63,31 @@ class CoordinatorRole:
         self._pending_embedded_clears: list[int] = []
         self._clear_notice_counts: dict[int, int] = {}
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of coordinator 2PC state (``repro.check``).
+
+        Composes per-transaction :meth:`CoordinatorState.signature`;
+        excludes :attr:`_copier_records` (metrics, carries timestamps).
+        """
+        return (
+            tuple(
+                (txn_id, state.signature())
+                for txn_id, state in sorted(self.active.items())
+            ),
+            tuple(sorted(self._decided.items())),
+            tuple(
+                (
+                    txn,
+                    tuple(
+                        (source, tuple(items))
+                        for source, items in sorted(pending.items())
+                    ),
+                )
+                for txn, pending in sorted(self._copier_pending.items())
+            ),
+            tuple(self._pending_embedded_clears),
+        )
+
     # -- entry point ------------------------------------------------------------
 
     def begin(self, ctx: HandlerContext, txn: Transaction) -> None:

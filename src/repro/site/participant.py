@@ -41,6 +41,34 @@ class ParticipantRole:
         # candidate sites to ask (coordinator first, then peers).
         self._inquiries: dict[int, list[int]] = {}
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of participant 2PC state (``repro.check``).
+
+        Excludes the phase-one start *time* — two states that differ only
+        in when a vote arrived make the same protocol decisions.
+        """
+        return (
+            tuple(
+                (
+                    txn,
+                    tuple(updates),
+                    tuple(
+                        (item, tuple(sites))
+                        for item, sites in sorted(recipients.items())
+                    ),
+                    coordinator,
+                )
+                for txn, (_started, updates, recipients, coordinator) in sorted(
+                    self._in_flight.items()
+                )
+            ),
+            tuple(sorted(self._decided.items())),
+            tuple(
+                (txn, tuple(candidates))
+                for txn, candidates in sorted(self._inquiries.items())
+            ),
+        )
+
     def on_vote_req(self, ctx: HandlerContext, msg: Message) -> None:
         """Phase one: buffer the copy updates and acknowledge.
 

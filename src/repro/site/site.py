@@ -712,6 +712,34 @@ class DatabaseSite(Endpoint):
         self.alive = False
         self.nsv.mark_down(self.site_id)
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of this site's protocol state (``repro.check``).
+
+        Composes the per-layer signatures (database, session vector,
+        fail-locks, both 2PC roles, lock table).  Deliberately excludes
+        metrics, the redo log, and every wall-clock timestamp: the
+        fingerprint must identify states that *behave* identically, not
+        states reached at the same instant.
+        """
+        return (
+            self.site_id,
+            self.alive,
+            self.nsv.signature(),
+            self.db.signature(),
+            self.faillocks.signature(),
+            self.participant.signature(),
+            self.coordinator.signature(),
+            self.recovery.in_recovery,
+            tuple(self._recovery_candidates),
+            tuple(
+                (source, tuple(items))
+                for source, items in sorted(self._batch_pending.items())
+            ),
+            self.lock_service.manager.signature()
+            if self.lock_service is not None
+            else None,
+        )
+
     def __repr__(self) -> str:
         return (
             f"DatabaseSite(id={self.site_id}, "

@@ -168,6 +168,24 @@ class SiteDatabase:
         """``{item_id: (value, version)}`` — for consistency audits."""
         return {i: (d.value, d.version) for i, d in self._items.items()}
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of committed + staged state (``repro.check``).
+
+        Excludes the redo log and commit timestamps: states that agree on
+        every copy's (value, version) and on the staged buffers behave
+        identically under the protocol regardless of when they got there.
+        """
+        return (
+            tuple(
+                (i, d.value, d.version)
+                for i, d in sorted(self._items.items())
+            ),
+            tuple(
+                (txn, tuple(updates))
+                for txn, updates in sorted(self._staged.items())
+            ),
+        )
+
     def __repr__(self) -> str:
         return (
             f"SiteDatabase(site={self.site_id}, items={len(self._items)}, "

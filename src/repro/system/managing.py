@@ -247,6 +247,17 @@ class ManagingSite(Endpoint):
         if self.on_finish is not None:
             self.on_finish()
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of drive-loop progress (``repro.check``)."""
+        return (
+            self._seq,
+            self._next_txn_id,
+            tuple(sorted(self._believed_up)),
+            self._waiting_recovery,
+            self._in_flight_txn,
+            self.finished,
+        )
+
     def __repr__(self) -> str:
         return (
             f"ManagingSite(next_seq={self._seq}, finished={self.finished}, "

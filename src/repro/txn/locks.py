@@ -72,6 +72,22 @@ class LockManager:
         """Queued transactions on ``item_id``, FIFO order."""
         return [txn for txn, _mode in self._table.get(item_id, _LockEntry()).queue]
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of every non-empty entry (``repro.check``).
+
+        Holders are sorted (the grant *set* has no order); the wait queue
+        keeps its FIFO order, which is protocol-visible.
+        """
+        return tuple(
+            (
+                item,
+                tuple(sorted((t, m.value) for t, m in entry.holders.items())),
+                tuple((t, m.value) for t, m in entry.queue),
+            )
+            for item, entry in sorted(self._table.items())
+            if entry.holders or entry.queue
+        )
+
     def request(self, txn_id: int, item_id: int, mode: LockMode) -> LockGrant:
         """Request ``mode`` on ``item_id`` for ``txn_id``.
 

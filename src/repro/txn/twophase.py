@@ -110,3 +110,27 @@ class CoordinatorState:
     def finish(self) -> None:
         """Mark the protocol complete for this transaction."""
         self.phase = CommitPhase.DONE
+
+    def signature(self) -> tuple:
+        """Hashable snapshot of the protocol-visible state (``repro.check``).
+
+        Excludes ``started_at`` (wall-clock of the sim, not protocol
+        state); vote/ack *sets* are sorted because their membership, not
+        arrival order, drives the protocol.
+        """
+        return (
+            self.phase.value,
+            tuple(self.participants),
+            tuple(sorted(self.pending_votes)),
+            tuple(sorted(self.pending_commit_acks)),
+            tuple(self.updates),
+            tuple(
+                (item, tuple(sites))
+                for item, sites in sorted(self.recipients.items())
+            ),
+            self.commit_version,
+            tuple(self.copier_items),
+            self.copier_source,
+            self.copiers_requested,
+            self.commit_retries,
+        )

@@ -259,6 +259,34 @@ def test_sweep_replays_byte_identically() -> None:
     assert "no invariant violations." in first
 
 
+def test_violation_fingerprint_is_stable_and_empty_when_clean() -> None:
+    clean = run_chaos_seed(43, txns=30)
+    assert clean.violation_fingerprint() == ""
+    first = run_chaos_seed(42, txns=30, mutate=True)
+    second = run_chaos_seed(42, txns=30, mutate=True)
+    assert not first.clean
+    assert first.violation_fingerprint() == second.violation_fingerprint()
+    assert len(first.violation_fingerprint()) == 16  # blake2b-8 hex
+
+
+def test_report_dedupes_repeated_violating_schedules() -> None:
+    # The same seed run twice under mutation yields the same violating
+    # schedule; the report prints it once and back-references the repeat.
+    report = run_seed_sweep([42, 42, 43], txns=30, mutate=True)
+    text = format_sweep_report(report)
+    fingerprint = report.results[0].violation_fingerprint()
+    assert f"seed 42: [sig {fingerprint}]" in text
+    assert f"seed 42: same as seed 42 [sig {fingerprint}]" in text
+    assert "duplicate seed(s) collapsed" in text
+    # The full violation records appear once, not twice.
+    sample = report.results[0].violations[0].format()
+    assert text.count(sample) == 1
+    # A different violating schedule keeps its own full listing.
+    other = report.results[2].violation_fingerprint()
+    assert other != fingerprint
+    assert f"seed 43: [sig {other}]" in text
+
+
 def test_sweep_aggregates() -> None:
     report = run_seed_sweep(range(42, 44), txns=30)
     assert report.seeds == [42, 43]

@@ -1,0 +1,120 @@
+"""The `repro check` CLI: explore / replay / shrink / stats / selftest."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_check_subcommands():
+    parser = build_parser()
+    for sub in ("explore", "replay", "shrink", "stats", "selftest"):
+        extra = (
+            ["--file", "x.json"] if sub in ("replay", "shrink", "stats") else []
+        )
+        args = parser.parse_args(["check", sub, *extra])
+        assert args.command == "check"
+        assert callable(args.fn)
+
+
+def test_explore_clean_config_exits_zero(capsys):
+    assert main(["check", "explore", "--txns", "2", "--max-runs", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "no violation found" in out
+    assert "runs:" in out
+
+
+def test_explore_mutated_finds_and_writes_schedule(tmp_path, capsys):
+    schedule = tmp_path / "found.json"
+    code = main(
+        [
+            "check",
+            "explore",
+            "--mutate",
+            "--max-runs",
+            "60",
+            "--out",
+            str(schedule),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0  # mutate mode: success IS finding the planted bug
+    assert "counterexample" in out
+    assert "faillock-coverage" in out
+    assert schedule.exists()
+
+    # stats renders the saved file.
+    assert main(["check", "stats", "--file", str(schedule)]) == 0
+    stats_out = capsys.readouterr().out
+    assert "repro.check/1" in stats_out
+    assert "faillock-coverage" in stats_out
+
+    # shrink minimizes in place (to --out here) and replay confirms.
+    small = tmp_path / "small.json"
+    assert (
+        main(
+            ["check", "shrink", "--file", str(schedule), "--out", str(small)]
+        )
+        == 0
+    )
+    shrink_out = capsys.readouterr().out
+    assert "shrunk" in shrink_out
+    assert main(["check", "replay", "--file", str(small)]) == 0
+    replay_out = capsys.readouterr().out
+    assert "replay matches the recorded run" in replay_out
+
+
+def test_replay_flags_divergence(tmp_path, capsys):
+    schedule = tmp_path / "tampered.json"
+    assert (
+        main(
+            [
+                "check",
+                "explore",
+                "--mutate",
+                "--max-runs",
+                "60",
+                "--out",
+                str(schedule),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    doc = json.loads(schedule.read_text())
+    doc["observed"]["events_fired"] += 1  # recorded run can't match now
+    schedule.write_text(json.dumps(doc))
+    assert main(["check", "replay", "--file", str(schedule)]) == 1
+    captured = capsys.readouterr()
+    assert "DIVERGED" in captured.err
+    assert "events_fired" in captured.err
+
+
+def test_replay_rejects_garbage_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    assert main(["check", "replay", "--file", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explore_rejects_unknown_choice_kind(capsys):
+    try:
+        main(["check", "explore", "--explore", "order,quantum"])
+    except SystemExit as exc:
+        assert exc.code == 2
+    else:  # pragma: no cover - the parse must fail
+        raise AssertionError("unknown choice kind accepted")
+    assert "unknown choice kinds" in capsys.readouterr().err
+
+
+def test_selftest_end_to_end(tmp_path, capsys):
+    # The acceptance gate: re-introduce the PR-1 mutation, explore, find,
+    # shrink, export via repro.obs, replay the export, all within a small
+    # budget.  CI runs this same command as its check smoke job.
+    out_dir = tmp_path / "selftest"
+    assert main(["check", "selftest", "--out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "selftest passed" in out
+    assert (out_dir / "schedule.json").exists()
+    assert (out_dir / "run.json").exists()
+    manifest = json.loads((out_dir / "run.json").read_text())
+    assert manifest["violations"]

@@ -106,7 +106,22 @@ def test_check_regression_flags_only_big_drops():
     )
     problems = check_regression(committed, regressed, tolerance=0.30)
     assert len(problems) == 1
-    assert problems[0].startswith("concurrent:")
+    # The failure must name the preset AND the metric, with both numbers.
+    assert problems[0].startswith("preset 'concurrent': metric events_per_sec")
+    assert "40%" in problems[0]
+    assert "fresh 60" in problems[0] and "committed 100" in problems[0]
+
+
+def test_check_regression_names_missing_preset():
+    committed = _simcore_doc(
+        {"concurrent": 100.0, "chaos": 100.0, "serial": 100.0}
+    )
+    partial = _simcore_doc({"concurrent": 100.0, "chaos": 100.0, "serial": 100.0})
+    del partial["presets"]["serial"]
+    problems = check_regression(committed, partial, tolerance=0.30)
+    assert problems == [
+        "preset 'serial': metric events_per_sec missing from fresh measurement"
+    ]
 
 
 def test_validate_simcore_rejects_garbage():

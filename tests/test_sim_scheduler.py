@@ -123,6 +123,105 @@ def test_compaction_during_run_keeps_heap_valid():
     assert sched.pending == 0
 
 
+def test_tie_break_contract():
+    # The public guarantee (see the scheduler module docstring): events
+    # scheduled for the same simulated time fire in POSTING order, across
+    # every scheduling entry point (post/post_at/schedule/schedule_at),
+    # and the order survives cancellations and heap compaction because
+    # surviving entries keep their (time, seq) keys.  repro.check's
+    # choice points enumerate alternatives to exactly this order, so it
+    # must hold bit-for-bit.
+    sched = EventScheduler()
+    fired = []
+
+    # Interleave all four scheduling paths at one instant, twice over.
+    sched.post(5.0, lambda: fired.append("post-0"))
+    sched.schedule(5.0, lambda: fired.append("sched-1"))
+    sched.post_at(5.0, lambda: fired.append("post_at-2"))
+    sched.schedule_at(5.0, lambda: fired.append("sched_at-3"))
+    doomed = sched.schedule(5.0, lambda: fired.append("cancelled"))
+    sched.post(5.0, lambda: fired.append("post-4"))
+    doomed.cancel()
+    sched.schedule(5.0, lambda: fired.append("sched-5"))
+
+    # A later instant posted earlier must still fire later...
+    sched.post(7.0, lambda: fired.append("late"))
+    # ...and churn enough cancelled timers to force a compaction while
+    # the tied group is still queued.
+    churn = [sched.schedule(6.0, lambda: fired.append("churn")) for _ in range(200)]
+    for event in churn:
+        event.cancel()
+    assert sched.compactions > 0
+
+    sched.run()
+    assert fired == [
+        "post-0",
+        "sched-1",
+        "post_at-2",
+        "sched_at-3",
+        "post-4",
+        "sched-5",
+        "late",
+    ]
+
+
+def test_tie_breaker_hook_sees_tied_groups():
+    # With a tie_breaker installed, run() hands every same-time group of
+    # live entries to the hook in (time, seq) order and fires the chosen
+    # entry; the rest are re-offered (arity n, then n-1, ...).
+    sched = EventScheduler()
+    fired = []
+    groups = []
+    for name in "abc":
+        sched.schedule(2.0, lambda n=name: fired.append(n))
+    sched.schedule(4.0, lambda: fired.append("solo"))
+
+    def last_first(tied):
+        groups.append(len(tied))
+        return len(tied) - 1
+
+    sched.tie_breaker = last_first
+    sched.run()
+    # Hook consulted for the 3-group then the remaining 2-group; the solo
+    # entry never reaches the hook.
+    assert groups == [3, 2]
+    assert fired == ["c", "b", "a", "solo"]
+
+
+def test_tie_breaker_always_default_matches_plain_run():
+    # A hook that always returns 0 must reproduce the tie-break contract
+    # exactly — the identity repro.check's empty decision vector relies on.
+    def build(hooked):
+        sched = EventScheduler()
+        fired = []
+        for i in range(6):
+            sched.post(3.0, lambda i=i: fired.append(i))
+        sched.schedule(3.0, lambda: fired.append("ev"))
+        if hooked:
+            sched.tie_breaker = lambda tied: 0
+        count = sched.run()
+        return fired, count
+
+    plain, plain_count = build(hooked=False)
+    hooked, hooked_count = build(hooked=True)
+    assert hooked == plain
+    assert hooked_count == plain_count
+
+
+def test_tie_breaker_skips_cancelled_entries():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append("a"))
+    doomed = sched.schedule(1.0, lambda: fired.append("doomed"))
+    sched.schedule(1.0, lambda: fired.append("b"))
+    doomed.cancel()
+    seen = []
+    sched.tie_breaker = lambda tied: seen.append(len(tied)) or 0
+    sched.run()
+    assert fired == ["a", "b"]
+    assert seen == [2]  # the cancelled entry was never offered
+
+
 def test_step_returns_false_when_empty():
     assert EventScheduler().step() is False
 
