@@ -349,6 +349,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         validate_sweep_doc,
         write_bench_files,
     )
+    from repro.perf.soakbench import (
+        render_soak_bench,
+        run_soak_bench,
+        validate_soak_bench_doc,
+        write_soak_bench,
+    )
+
+    if args.soak:
+        # The soak flatness gate is its own (subprocess-heavy) measurement;
+        # run it alone rather than on every bench invocation.
+        doc = run_soak_bench(quick=args.quick, seed=args.seed)
+        print(render_soak_bench(doc))
+        problems = validate_soak_bench_doc(doc)
+        if args.write:
+            write_soak_bench(doc)
+            print("wrote BENCH_soak.json")
+        if problems:
+            for problem in problems:
+                print(f"BENCH: {problem}", file=sys.stderr)
+            return 1
+        return 0
 
     simcore = run_simcore_bench(quick=args.quick)
     sweep = run_sweep_bench(quick=args.quick, jobs=args.jobs)
@@ -657,6 +678,81 @@ def _cmd_check_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _soak_config_from_args(args: argparse.Namespace) -> "SoakConfig":
+    from repro.soak import SoakConfig
+
+    return SoakConfig(
+        seed=args.seed,
+        txns=args.txns,
+        rate_tps=args.rate,
+        shape=args.shape,
+        peak_tps=args.peak,
+        period_ms=args.period_ms,
+        workload=args.workload,
+        skew=args.skew,
+        storm_every_ms=args.storm_every_ms,
+        num_sites=args.sites,
+        db_size=args.db,
+        window_ms=args.window_ms,
+        detection=args.detection,
+        exemplars=args.exemplars,
+        fail_site=None if args.no_fail else args.fail_site,
+        fail_at_ms=args.fail_at_ms,
+        recover_at_ms=args.recover_at_ms,
+    )
+
+
+def _cmd_soak_run(args: argparse.Namespace) -> int:
+    """Run a heavy-traffic soak through a fail/recover cycle and report
+    the windowed availability/latency series (repro.soak)."""
+    from repro.soak import (
+        build_report,
+        render_soak_text,
+        run_soak,
+        validate_soak_report,
+        write_report,
+        write_soak_svg,
+    )
+
+    config = _soak_config_from_args(args)
+    result = run_soak(config)
+    doc = build_report(result)
+    problems = validate_soak_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print(render_soak_text(doc))
+    if args.out:
+        write_report(doc, args.out)
+        print(f"report -> {args.out}")
+    if args.svg:
+        write_soak_svg(doc, args.svg)
+        print(f"figure -> {args.svg}")
+    return 0
+
+
+def _cmd_soak_validate(args: argparse.Namespace) -> int:
+    """Schema-check a soak report written by ``repro soak run --out``."""
+    import json as _json
+
+    from repro.soak import validate_soak_report
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        doc = _json.load(fh)
+    problems = validate_soak_report(doc)
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if not problems:
+        totals = doc["totals"]
+        print(
+            f"valid soak report ({doc['schema']}): {totals['txns']} txns, "
+            f"{totals['commits']} commits, {len(doc['windows']['series'])} "
+            f"windows"
+        )
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -901,6 +997,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest_p.set_defaults(fn=_cmd_check_selftest)
 
+    soak = sub.add_parser(
+        "soak",
+        help="heavy-traffic soak through a fail/recover cycle (repro.soak)",
+    )
+    soak_sub = soak.add_subparsers(dest="soak_command", required=True)
+
+    soak_run = soak_sub.add_parser(
+        "run",
+        help="sustained open-loop run with streaming metrics and a "
+        "scheduled crash; reports the availability dip and recovery",
+    )
+    soak_run.add_argument("--txns", type=int, default=5000,
+                          help="transactions to complete")
+    soak_run.add_argument("--rate", type=float, default=25.0,
+                          help="base arrival rate (txns/sec)")
+    soak_run.add_argument(
+        "--shape", choices=["constant", "ramp", "diurnal", "flash"],
+        default="constant", help="time-varying load shape",
+    )
+    soak_run.add_argument(
+        "--peak", type=float, default=None,
+        help="peak rate for ramp/diurnal/flash (default 2x --rate)",
+    )
+    soak_run.add_argument(
+        "--period-ms", type=float, default=20000.0,
+        help="diurnal period / flash-crowd onset time",
+    )
+    soak_run.add_argument(
+        "--workload", choices=["zipf", "storm"], default="zipf",
+        help="zipf: static skewed popularity; storm: the hot set "
+        "rotates every --storm-every-ms",
+    )
+    soak_run.add_argument("--skew", type=float, default=0.8,
+                          help="Zipf skew parameter")
+    soak_run.add_argument(
+        "--storm-every-ms", type=float, default=10000.0,
+        help="storm workload: hot-set rotation period",
+    )
+    soak_run.add_argument("--sites", type=int, default=4,
+                          help="database sites")
+    soak_run.add_argument("--db", type=int, default=128, help="data items")
+    soak_run.add_argument("--window-ms", type=float, default=1000.0,
+                          help="metrics window width")
+    soak_run.add_argument(
+        "--detection", choices=["timeout", "announced"], default="timeout",
+        help="how survivors learn of the crash (timeout = paper-faithful "
+        "client-visible dip)",
+    )
+    soak_run.add_argument("--exemplars", type=int, default=20,
+                          help="reservoir-sampled exemplar transactions")
+    soak_run.add_argument("--fail-site", type=int, default=2,
+                          help="site to crash")
+    soak_run.add_argument("--no-fail", action="store_true",
+                          help="disable fault injection entirely")
+    soak_run.add_argument(
+        "--fail-at-ms", type=float, default=None,
+        help="crash time (default: 35%% through the estimated run)",
+    )
+    soak_run.add_argument(
+        "--recover-at-ms", type=float, default=None,
+        help="recovery start (default: fail time + 25%% of the run)",
+    )
+    soak_run.add_argument("--out", default=None,
+                          help="write the JSON report here")
+    soak_run.add_argument("--svg", default=None,
+                          help="write the availability/latency figure here")
+    soak_run.set_defaults(fn=_cmd_soak_run)
+
+    soak_validate = soak_sub.add_parser(
+        "validate",
+        help="schema-check a soak report (exit 1 on problems)",
+    )
+    soak_validate.add_argument("--file", required=True,
+                               help="report file from soak run --out")
+    soak_validate.set_defaults(fn=_cmd_soak_validate)
+
     bench = sub.add_parser(
         "bench", help="simulator benchmark harness (repro.perf)"
     )
@@ -924,6 +1096,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the sweep benchmark",
+    )
+    bench.add_argument(
+        "--soak", action="store_true",
+        help="run the soak memory-flatness gate instead (short vs 20x "
+        "soak in fresh subprocesses; exit 1 unless peaks stay flat)",
     )
     bench.set_defaults(fn=_cmd_bench)
 

@@ -18,6 +18,15 @@ from repro.metrics.records import (
 )
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.availability import availability_of, AvailabilityReport
+from repro.metrics.sketch import P2Quantile, QuantileSketch
+from repro.metrics.streaming import (
+    LatencyDigest,
+    ReservoirSample,
+    StreamingStats,
+    StreamingTxnSink,
+    Window,
+    WindowedSeries,
+)
 
 __all__ = [
     "mean",
@@ -35,4 +44,12 @@ __all__ = [
     "MetricsCollector",
     "availability_of",
     "AvailabilityReport",
+    "P2Quantile",
+    "QuantileSketch",
+    "StreamingStats",
+    "LatencyDigest",
+    "ReservoirSample",
+    "Window",
+    "WindowedSeries",
+    "StreamingTxnSink",
 ]

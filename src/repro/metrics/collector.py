@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.metrics.counters import CounterSet
 from repro.metrics.records import (
@@ -16,9 +16,23 @@ from repro.metrics.stats import Summary, summarize
 
 
 class MetricsCollector:
-    """Accumulates every measurement series a cluster run produces."""
+    """Accumulates every measurement series a cluster run produces.
 
-    def __init__(self) -> None:
+    By default every :class:`TxnRecord` is retained in ``txns`` (the
+    exact-record mode all existing experiments replay byte-identically).
+    Long soak runs instead pass ``retain_txns=False`` plus a ``txn_sink``
+    callable (e.g. :class:`repro.metrics.streaming.StreamingTxnSink`):
+    records still flow through ``record_txn`` once, but only aggregates
+    survive, keeping memory flat in the transaction count.
+    """
+
+    def __init__(
+        self,
+        txn_sink: Optional[Callable[[TxnRecord], None]] = None,
+        retain_txns: bool = True,
+    ) -> None:
+        self.txn_sink = txn_sink
+        self.retain_txns = retain_txns
         self.txns: list[TxnRecord] = []
         self.controls: list[ControlRecord] = []
         self.copiers: list[CopierRecord] = []
@@ -40,7 +54,10 @@ class MetricsCollector:
     # -- recording -----------------------------------------------------------
 
     def record_txn(self, record: TxnRecord) -> None:
-        self.txns.append(record)
+        if self.retain_txns:
+            self.txns.append(record)
+        if self.txn_sink is not None:
+            self.txn_sink(record)
         self.counters.incr("txns")
         self.counters.incr("commits" if record.committed else "aborts")
 

@@ -1,0 +1,221 @@
+"""Online quantile sketches with O(1)/O(log-range) memory.
+
+Two estimators back the soak engine's latency reporting:
+
+* :class:`QuantileSketch` — a DDSketch/HDR-style log-bucket histogram.
+  Values land in geometric buckets sized so every bucket midpoint is
+  within a configurable *relative* error ``rel_err`` of any value in the
+  bucket.  Memory is bounded by the dynamic range of the data (one
+  integer per occupied bucket), not by the sample count, and two
+  sketches merge by adding bucket counts — an exactly associative and
+  commutative operation, so sharded collection order cannot change a
+  quantile estimate.
+
+* :class:`P2Quantile` — the classic Jain & Chlamtac P² estimator: five
+  markers tracking one target quantile in strictly O(1) memory.  It is
+  a heuristic (no hard error bound) and is used where a full sketch per
+  object would be wasteful, e.g. the per-window p95 gauge.
+
+Error bound (documented contract, exercised by tests/test_metrics_sketch.py):
+for a sketch built with ``rel_err = a``, ``quantile(p)`` returns a value
+within relative error ``a`` of *some sample* whose rank brackets the
+requested rank — i.e. it lies within ``[lo * (1 - a), hi * (1 + a)]``
+where ``lo``/``hi`` are the order statistics flooring/ceiling the rank
+``p/100 * (n - 1)``.  Unlike :func:`repro.metrics.stats.percentile`, no
+interpolation *between* samples happens, so on gapped (e.g. bimodal)
+data the sketch answers with a value near an actual sample rather than
+a point inside the gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["P2Quantile", "QuantileSketch"]
+
+
+class QuantileSketch:
+    """Mergeable log-bucket quantile sketch for non-negative values."""
+
+    __slots__ = ("rel_err", "_gamma", "_ln_gamma", "_buckets", "_zero",
+                 "count", "total", "minimum", "maximum")
+
+    # Values at or below this are indistinguishable from zero for latency
+    # purposes and go to a dedicated zero bucket (log() needs v > 0).
+    ZERO_EPSILON = 1e-9
+
+    def __init__(self, rel_err: float = 0.01) -> None:
+        if not 0.0 < rel_err < 1.0:
+            raise ValueError(f"rel_err must be in (0, 1): {rel_err}")
+        self.rel_err = rel_err
+        self._gamma = (1.0 + rel_err) / (1.0 - rel_err)
+        self._ln_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"QuantileSketch holds non-negative values: {value}")
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if value <= self.ZERO_EPSILON:
+            self._zero += 1
+            return
+        index = math.ceil(math.log(value) / self._ln_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _bucket_value(self, index: int) -> float:
+        # Bucket i covers (gamma^(i-1), gamma^i]; this midpoint-in-log
+        # estimate is within rel_err relative error of the whole range.
+        return 2.0 * self._gamma**index / (self._gamma + 1.0)
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100); 0.0 on an empty sketch."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {p}")
+        if self.count == 0:
+            return 0.0
+        rank = (p / 100.0) * (self.count - 1)
+        seen = self._zero
+        if seen > rank:
+            return 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen > rank:
+                return self._bucket_value(index)
+        return self._bucket_value(max(self._buckets))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into ``self`` (bucket-count addition) and return self.
+
+        Quantile estimates of a merged sketch depend only on the integer
+        bucket counts, so merging is exactly associative and commutative
+        for every ``quantile()`` query (``total`` is a float sum and may
+        differ in the last ulp across merge orders).
+        """
+        if other.rel_err != self.rel_err:
+            raise ValueError(
+                f"cannot merge sketches with different rel_err: "
+                f"{self.rel_err} vs {other.rel_err}"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self._zero += other._zero
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        dup = QuantileSketch(self.rel_err)
+        dup._buckets = dict(self._buckets)
+        dup._zero = self._zero
+        dup.count = self.count
+        dup.total = self.total
+        dup.minimum = self.minimum
+        dup.maximum = self.maximum
+        return dup
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied buckets — the sketch's actual memory footprint."""
+        return len(self._buckets) + (1 if self._zero else 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(rel_err={self.rel_err}, n={self.count}, "
+            f"buckets={self.bucket_count})"
+        )
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² single-quantile estimator (O(1) memory)."""
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments",
+                 "count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions = [0.0, 1.0, 2.0, 3.0, 4.0]
+        self._desired = [0.0, 2.0 * q, 4.0 * q, 2.0 + 2.0 * q, 4.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        h = self._heights
+        if len(h) < 5:
+            h.append(value)
+            h.sort()
+            return
+        n = self._positions
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, d)
+                h[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate; exact while fewer than five samples seen."""
+        h = self._heights
+        if not h:
+            return 0.0
+        if self.count < 5:
+            # Exact nearest-rank answer from the (sorted) bootstrap buffer.
+            rank = self.q * (len(h) - 1)
+            return h[min(len(h) - 1, round(rank))]
+        return h[2]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.q}, n={self.count}, est={self.value():.3f})"

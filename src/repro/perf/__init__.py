@@ -13,6 +13,10 @@ in docs/PERFORMANCE.md:
   wall-clock, peak RSS), writes schema-stable JSON artifacts
   (``BENCH_simcore.json``, ``BENCH_sweep.json``), and gates regressions
   in CI.
+* :mod:`repro.perf.soakbench` — the soak memory-flatness gate behind
+  ``repro bench --soak``: a short and a 20x-longer soak run in fresh
+  subprocesses must show near-identical memory peaks
+  (``BENCH_soak.json``), proving the streaming-metrics O(1) claim.
 """
 
 from repro.perf.bench import (
@@ -25,15 +29,23 @@ from repro.perf.bench import (
     validate_sweep_doc,
 )
 from repro.perf.parallel import parallel_map, run_parallel_seed_sweep
+from repro.perf.soakbench import (
+    render_soak_bench,
+    run_soak_bench,
+    validate_soak_bench_doc,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
     "check_regression",
     "parallel_map",
     "render_bench_table",
+    "render_soak_bench",
     "run_parallel_seed_sweep",
     "run_simcore_bench",
+    "run_soak_bench",
     "run_sweep_bench",
     "validate_simcore_doc",
+    "validate_soak_bench_doc",
     "validate_sweep_doc",
 ]

@@ -1,0 +1,205 @@
+"""Memory-flatness benchmark for the soak engine (``repro bench --soak``).
+
+The whole point of :mod:`repro.soak` is O(1)-memory streaming: a run 20x
+longer must not use meaningfully more memory.  This harness proves it by
+running a *short* and a *long* soak (same config, ``scale`` times the
+transactions) in **fresh subprocesses** and comparing their peaks:
+
+* ``peak_rss_kb`` — ``ru_maxrss``, the OS-level high-water mark.  It is
+  process-lifetime, which is exactly why each measurement needs its own
+  child process: measured in-process, the long run would inherit the
+  short run's high-water mark (or vice versa) and the comparison would
+  be meaningless.
+* ``traced_peak_kb`` — ``tracemalloc``'s peak of Python-allocated memory
+  over the run.  Sharper than RSS (no interpreter baseline, no allocator
+  slack), so it gets the same gate; it is the one that actually fails
+  when someone reintroduces a per-transaction list.
+
+The gate: the long run's peak must stay within ``RSS_FLATNESS_RATIO``
+(rss) and ``TRACED_FLATNESS_RATIO`` (traced) of the short run's.  A
+truly O(n) structure (e.g. retaining one record per transaction) shows
+up as a ~20x traced ratio; streaming aggregates land near 1.0 with the
+allowances absorbing allocator noise and bounded log-ish residue (the
+windowed series is capped at ``SoakConfig.max_windows`` points by
+up-front window widening, so it cannot grow with run length either).
+
+The document is written to ``BENCH_soak.json`` next to the other bench
+artifacts, under the same schema version, and validated/gated by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.perf.bench import BENCH_SCHEMA, _validate_header
+
+# Long-run peaks must stay within these factors of the short run's.
+# Traced peak gets a slightly looser allowance: it resolves growth RSS
+# can't see (so it is the gate that catches a reintroduced per-txn
+# list at ~20x), but that same sharpness picks up bounded log-ish
+# residue — quantile-sketch buckets widening with rare tail latencies,
+# GC timing at peak — worth tolerating.
+RSS_FLATNESS_RATIO = 1.5
+TRACED_FLATNESS_RATIO = 1.75
+
+# Short-run transaction counts; the long run is SCALE times bigger.
+# The short run must already be at memory steady state — every bounded
+# structure (decision-log tails, redo-log windows, the windowed series)
+# filled to its cap — or the comparison measures caps filling rather
+# than growth.  With the caps below, steady state is reached well before
+# SHORT_TXNS_QUICK transactions.
+SCALE = 20
+SHORT_TXNS_QUICK = 1000
+SHORT_TXNS_FULL = 2000
+
+# The soak default targets 240 series points; the bench children use a
+# smaller target so even the short run saturates its series (the series
+# is bounded by construction — the gate is about per-transaction state).
+BENCH_MAX_WINDOWS = 48
+
+_CHILD_FIELDS = ("txns", "commits", "events", "wall_s",
+                 "peak_rss_kb", "traced_peak_kb")
+
+# Runs one soak and prints its measurements as JSON.  Executed via
+# ``python -c`` so every measurement starts from a cold interpreter.
+_CHILD_SCRIPT = """\
+import json, resource, sys, time, tracemalloc
+from repro.soak import SoakConfig, run_soak
+
+txns, seed, max_windows = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+tracemalloc.start()
+start = time.perf_counter()
+result = run_soak(SoakConfig(seed=seed, txns=txns, max_windows=max_windows))
+wall = time.perf_counter() - start
+_, traced_peak = tracemalloc.get_traced_memory()
+tracemalloc.stop()
+print(json.dumps({
+    "txns": result.txns,
+    "commits": result.commits,
+    "events": result.events_fired,
+    "wall_s": round(wall, 6),
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "traced_peak_kb": round(traced_peak / 1024.0, 1),
+}))
+"""
+
+
+def _measure_child(txns: int, seed: int) -> dict[str, Any]:
+    """Run one soak in a fresh interpreter; return its measurements."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(txns), str(seed),
+         str(BENCH_MAX_WINDOWS)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise ReproError(
+            f"soak bench child ({txns} txns) failed:\n{proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def run_soak_bench(quick: bool = False, seed: int = 42) -> dict[str, Any]:
+    """Short vs. 20x-long soak in fresh processes; the BENCH_soak document."""
+    short_txns = SHORT_TXNS_QUICK if quick else SHORT_TXNS_FULL
+    short = _measure_child(short_txns, seed)
+    long_run = _measure_child(short_txns * SCALE, seed)
+    rss_ratio = long_run["peak_rss_kb"] / short["peak_rss_kb"]
+    traced_ratio = long_run["traced_peak_kb"] / short["traced_peak_kb"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "soak",
+        "quick": quick,
+        "seed": seed,
+        "scale": SCALE,
+        "short": short,
+        "long": long_run,
+        "rss_ratio": round(rss_ratio, 3),
+        "traced_ratio": round(traced_ratio, 3),
+        "rss_allowed": RSS_FLATNESS_RATIO,
+        "traced_allowed": TRACED_FLATNESS_RATIO,
+        "flat": (
+            rss_ratio <= RSS_FLATNESS_RATIO
+            and traced_ratio <= TRACED_FLATNESS_RATIO
+        ),
+    }
+
+
+def validate_soak_bench_doc(doc: Any) -> list[str]:
+    """Schema problems in a ``BENCH_soak.json`` document ([] if none)."""
+    problems = _validate_header(doc, "soak")
+    if problems:
+        return problems
+    for run_name in ("short", "long"):
+        entry = doc.get(run_name)
+        if not isinstance(entry, dict):
+            problems.append(f"{run_name}: missing")
+            continue
+        for fieldname in _CHILD_FIELDS:
+            value = entry.get(fieldname)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"{run_name}.{fieldname}: expected a positive number, "
+                    f"got {value!r}"
+                )
+    if not problems:
+        expected = doc["short"]["txns"] * doc.get("scale", 0)
+        if doc["long"]["txns"] != expected:
+            problems.append(
+                f"long.txns: expected short * scale = {expected}, "
+                f"got {doc['long']['txns']}"
+            )
+    for fieldname in ("rss_ratio", "traced_ratio"):
+        value = doc.get(fieldname)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(
+                f"{fieldname}: expected a positive number, got {value!r}"
+            )
+    if doc.get("flat") is not True:
+        problems.append(
+            f"flat: memory grew with run length "
+            f"(rss_ratio={doc.get('rss_ratio')} vs {doc.get('rss_allowed')}, "
+            f"traced_ratio={doc.get('traced_ratio')} vs "
+            f"{doc.get('traced_allowed')})"
+        )
+    return problems
+
+
+def render_soak_bench(doc: dict[str, Any]) -> str:
+    """Human-readable summary of the flatness measurement."""
+    short, long_run = doc["short"], doc["long"]
+    lines = [
+        f"soak flatness (seed {doc['seed']}, scale {doc['scale']}x):",
+        f"  short: {short['txns']} txns, {short['wall_s']:.2f} s, "
+        f"rss {short['peak_rss_kb']} kB, "
+        f"traced peak {short['traced_peak_kb']} kB",
+        f"  long:  {long_run['txns']} txns, {long_run['wall_s']:.2f} s, "
+        f"rss {long_run['peak_rss_kb']} kB, "
+        f"traced peak {long_run['traced_peak_kb']} kB",
+        f"  ratios: rss {doc['rss_ratio']:.2f} "
+        f"(allowed {doc['rss_allowed']:.2f}), "
+        f"traced {doc['traced_ratio']:.2f} "
+        f"(allowed {doc['traced_allowed']:.2f}) -> "
+        f"{'FLAT' if doc['flat'] else 'NOT FLAT'}",
+    ]
+    return "\n".join(lines)
+
+
+def write_soak_bench(doc: dict[str, Any], path: str = "BENCH_soak.json") -> None:
+    """Write the artifact in the house style (insertion order, indent 2)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

@@ -53,6 +53,13 @@ class CoordinatorRole:
         # inquiries from blocked participants can be answered after the
         # active record is gone: txn_id -> ("committed"|"aborted", version).
         self._decided: dict[int, tuple[str, int]] = {}
+        # Decision-log retention: ``None`` keeps every outcome (the
+        # experiments' default — also what ``repro.check`` state
+        # signatures expect).  Soak runs set a cap and the oldest entries
+        # are truncated, like a real 2PC log: inquiries only ever concern
+        # transactions still blocked somewhere, which at soak timeouts is
+        # a few seconds of history, far inside any reasonable cap.
+        self.decision_log_cap: int | None = None
         # Copier exchanges in flight: txn_id -> {source site: [item ids]}.
         self._copier_pending: dict[int, dict[int, list[int]]] = {}
         self._copier_records: dict[int, list[CopierRecord]] = {}
@@ -62,6 +69,61 @@ class CoordinatorRole:
         # read-only transaction has no phase one to carry them.
         self._pending_embedded_clears: list[int] = []
         self._clear_notice_counts: dict[int, int] = {}
+        # Commit decisions whose local apply was lost to a crash, replayed
+        # by :meth:`redo_after_crash` at recovery: txn -> stamped updates.
+        self._redo_pending: dict[int, list[tuple[int, int, int]]] = {}
+
+    def crash_reset(self) -> None:
+        """Crash: drop all volatile coordinator state.
+
+        In-flight 2PC state, copier exchanges, and staged clear notices
+        die with the site.  Two things survive, modelling the 2PC stable
+        log: ``_decided`` (outcomes already reported), and — for
+        transactions in phase two at the instant of the crash — the
+        commit record itself.  Real presumed-abort 2PC force-writes the
+        commit record *before* sending COMMITs, so a coordinator that
+        crashed mid-phase-2 must still count the transaction committed:
+        its participants may have applied the updates, and only this
+        site's own local apply was lost.  The stamped updates are kept
+        for the recovery-time REDO pass; without it the crashed
+        coordinator's own copies would silently go stale with no
+        fail-lock anywhere (participants saw a live recipient).
+        """
+        for txn_id, state in sorted(self.active.items()):
+            if state.phase is CommitPhase.COMMITTING and state.updates:
+                version = state.commit_version
+                self._note_decided(txn_id, ("committed", version))
+                self._redo_pending[txn_id] = [
+                    (item, value, version) for item, value, _v in state.updates
+                ]
+        self.active.clear()
+        self._copier_pending.clear()
+        self._copier_records.clear()
+        self._pending_embedded_clears.clear()
+        self._clear_notice_counts.clear()
+
+    def redo_after_crash(self, ctx: HandlerContext) -> int:
+        """Recovery REDO: re-apply logged commit decisions to the local
+        database (idempotent — ``install_copy`` refuses to go backwards).
+        Returns the number of transactions replayed."""
+        replayed = 0
+        for txn_id, updates in sorted(self._redo_pending.items()):
+            for item, value, version in updates:
+                self.site.db.install_copy(
+                    item, value, version, ctx.now, source_txn=txn_id
+                )
+            replayed += 1
+        self._redo_pending.clear()
+        return replayed
+
+    def _note_decided(self, txn_id: int, outcome: tuple[str, int]) -> None:
+        """Record an outcome, truncating the oldest entries past the cap."""
+        decided = self._decided
+        decided[txn_id] = outcome
+        cap = self.decision_log_cap
+        if cap is not None:
+            while len(decided) > cap:
+                del decided[next(iter(decided))]
 
     def signature(self) -> tuple:
         """Hashable snapshot of coordinator 2PC state (``repro.check``).
@@ -569,7 +631,7 @@ class CoordinatorRole:
                 txn=txn.txn_id,
                 version=version,
             )
-        self._decided[txn.txn_id] = ("committed", version)
+        self._note_decided(txn.txn_id, ("committed", version))
         state.finish()
         if site.lock_service is not None:
             site.lock_service.release(ctx, txn.txn_id)
@@ -608,7 +670,7 @@ class CoordinatorRole:
                 txn=txn.txn_id,
                 reason=reason.value,
             )
-        self._decided[txn.txn_id] = ("aborted", -1)
+        self._note_decided(txn.txn_id, ("aborted", -1))
         state.finish()
         if site.probe is not None:
             site.probe.on_coordinator_abort(site.site_id, txn.txn_id, reason)

@@ -149,6 +149,22 @@ class SiteLockService:
         if self.detector is not None:
             self.detector.forget(txn_id)
 
+    def wipe(self) -> None:
+        """Crash: the lock table is volatile, so all of it is lost.
+
+        Parked continuations are cancelled (their closures may still be
+        scheduled; the flag makes them no-ops), the global detector drops
+        this site's wait-for edges, and the lock table restarts empty.
+        Waiters are deliberately *not* resumed — their transactions died
+        with the site.
+        """
+        for parked in self._parked.values():
+            parked.cancelled = True
+            if self.detector is not None:
+                self.detector.unblock(self.site.site_id, parked.txn_id)
+        self._parked.clear()
+        self.manager = LockManager()
+
     @property
     def parked_txns(self) -> list[int]:
         """Transactions currently waiting at this site, sorted."""

@@ -37,9 +37,27 @@ class ParticipantRole:
         # TXN_STATUS_REQ inquiries from blocked peers after the in-flight
         # record is gone: txn_id -> ("committed"|"aborted", version).
         self._decided: dict[int, tuple[str, int]] = {}
+        # Retention cap for _decided; see CoordinatorRole.decision_log_cap.
+        self.decision_log_cap: int | None = None
         # Cooperative-termination inquiries in flight: txn_id -> remaining
         # candidate sites to ask (coordinator first, then peers).
         self._inquiries: dict[int, list[int]] = {}
+
+    def _note_decided(self, txn_id: int, outcome: tuple[str, int]) -> None:
+        """Record an outcome, truncating the oldest entries past the cap."""
+        decided = self._decided
+        decided[txn_id] = outcome
+        cap = self.decision_log_cap
+        if cap is not None:
+            while len(decided) > cap:
+                del decided[next(iter(decided))]
+
+    def crash_reset(self) -> None:
+        """Crash: drop volatile participant state (in-flight phase-one
+        entries and termination inquiries).  ``_decided`` survives as the
+        stable decision log — see ``CoordinatorRole.crash_reset``."""
+        self._in_flight.clear()
+        self._inquiries.clear()
 
     def signature(self) -> tuple:
         """Hashable snapshot of participant 2PC state (``repro.check``).
@@ -219,7 +237,7 @@ class ParticipantRole:
         site.commit_writes(ctx, txn_id, stamped, recipients=recipients)
         if site.lock_service is not None:
             site.lock_service.release(ctx, txn_id)
-        self._decided[txn_id] = ("committed", version)
+        self._note_decided(txn_id, ("committed", version))
         self._inquiries.pop(txn_id, None)
 
     def on_abort(self, ctx: HandlerContext, msg: Message) -> None:
@@ -230,7 +248,7 @@ class ParticipantRole:
     def _discard(self, ctx: HandlerContext, txn_id: int) -> None:
         self.site.db.abort_staged(txn_id)
         if self._in_flight.pop(txn_id, None) is not None:
-            self._decided[txn_id] = ("aborted", -1)
+            self._note_decided(txn_id, ("aborted", -1))
         self._inquiries.pop(txn_id, None)
         if self.site.lock_service is not None:
             self.site.lock_service.cancel(ctx, txn_id)

@@ -430,6 +430,21 @@ class DatabaseSite(Endpoint):
         self.nsv.mark_down(self.site_id)
         if self.config.cold_recovery:
             self.db.wipe()
+        else:
+            self.db.drop_staged()
+        # Volatile protocol state dies with the site: in-flight 2PC roles,
+        # the lock table, parked lock waiters, copier exchanges, and batch
+        # staging.  Decision logs (_decided) survive as stable storage.
+        # Under the serial managing site these containers are always empty
+        # here (failures land between transactions); the soak engine
+        # crashes sites mid-protocol, where this wipe is what lets
+        # post-recovery transactions acquire locks again.
+        self.coordinator.crash_reset()
+        self.participant.crash_reset()
+        if self.lock_service is not None:
+            self.lock_service.wipe()
+        self._batch_pending.clear()
+        self._recovery_candidates = []
         obs = self.network.obs
         if obs.enabled:
             obs.emit(
@@ -445,6 +460,11 @@ class DatabaseSite(Endpoint):
         self.alive = True
         new_session = self.nsv.begin_new_session()
         self._recovery_started_at = ctx.now
+        # REDO pass: re-apply commit decisions whose local write was lost
+        # when this site crashed mid-phase-2 (the participants applied;
+        # only our own copy is stale, and no fail-lock covers it because
+        # we were a live recipient at commit time).
+        self.coordinator.redo_after_crash(ctx)
         obs = self.network.obs
         if obs.enabled:
             obs.emit(

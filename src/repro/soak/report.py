@@ -1,0 +1,369 @@
+"""Byte-deterministic soak report: build, validate, render, write.
+
+Schema ``repro.soak/1``.  Every number in the document derives from the
+seeded simulation (no wall-clock, no environment), floats are rounded to
+fixed precision, and dict insertion order is fixed — so the same seed
+always serializes to the same bytes, which CI asserts by re-running and
+comparing artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.soak.engine import SoakResult
+
+__all__ = [
+    "SOAK_SCHEMA",
+    "build_report",
+    "validate_soak_report",
+    "render_soak_text",
+    "write_report",
+    "write_soak_svg",
+]
+
+SOAK_SCHEMA = "repro.soak/1"
+
+# A window's availability counts as "recovered" once it is back within
+# this much of the pre-fail baseline (documented in docs/SOAK.md).
+RECOVERY_TOLERANCE = 0.05
+
+
+def _round(value: Optional[float], digits: int = 3) -> Optional[float]:
+    if value is None:
+        return None
+    return round(value, digits)
+
+
+def _latency_block(digest) -> dict:
+    """Latency summary from a :class:`LatencyDigest` (sketch quantiles)."""
+    stats = digest.stats
+    empty = stats.count == 0
+    return {
+        "count": stats.count,
+        "mean": _round(stats.mean) if not empty else None,
+        "p50": _round(digest.quantile(50.0)) if not empty else None,
+        "p95": _round(digest.quantile(95.0)) if not empty else None,
+        "p99": _round(digest.quantile(99.0)) if not empty else None,
+        "min": _round(stats.minimum) if not empty else None,
+        "max": _round(stats.maximum) if not empty else None,
+        "stddev": _round(stats.stddev) if not empty else None,
+    }
+
+
+def _availability_analysis(
+    windows: list[dict], fault: Optional[dict], window_ms: float
+) -> dict:
+    """Baseline / dip / time-to-recover from the windowed series.
+
+    The dip is the worst availability window inside the *fault region* —
+    from the crash until shortly after recovery completed (a few windows
+    of slack for post-recovery lock churn) — so ordinary contention noise
+    elsewhere in the run cannot masquerade as the dip.
+    """
+    defined = [w for w in windows if w["availability"] is not None]
+    overall = (
+        sum(w["availability"] for w in defined) / len(defined) if defined else None
+    )
+    analysis: dict = {
+        "overall": _round(overall, 4),
+        "baseline": None,
+        "dip": None,
+        "dip_t_ms": None,
+        "recovered": None,
+        "time_to_baseline_ms": None,
+    }
+    if fault is None or fault.get("failed_at_ms") is None:
+        return analysis
+    fail_at = fault["failed_at_ms"]
+    region_end = fault.get("recover_done_ms")
+    if region_end is None:
+        region_end = defined[-1]["t_ms"] if defined else fail_at
+    region_end += 5.0 * window_ms
+    before = [w for w in defined if w["t_ms"] < fail_at]
+    region = [w for w in defined if fail_at <= w["t_ms"] <= region_end]
+    if not before or not region:
+        return analysis
+    baseline = sum(w["availability"] for w in before) / len(before)
+    dip_window = min(region, key=lambda w: (w["availability"], w["t_ms"]))
+    analysis["baseline"] = _round(baseline, 4)
+    analysis["dip"] = _round(dip_window["availability"], 4)
+    analysis["dip_t_ms"] = _round(dip_window["t_ms"])
+    threshold = baseline - RECOVERY_TOLERANCE
+    recovered_at = next(
+        (
+            w["t_ms"]
+            for w in defined
+            if w["t_ms"] > dip_window["t_ms"] and w["availability"] >= threshold
+        ),
+        None,
+    )
+    analysis["recovered"] = recovered_at is not None
+    if recovered_at is not None:
+        analysis["time_to_baseline_ms"] = _round(recovered_at - fail_at)
+    return analysis
+
+
+def build_report(result: SoakResult) -> dict:
+    """Assemble the ``repro.soak/1`` document from a finished run."""
+    config = result.config
+    sink = result.sink
+    fault_doc = None
+    if result.fault is not None:
+        fault = result.fault
+        fault_doc = {
+            "site": fault.site,
+            "fail_at_ms": _round(fault.fail_at_ms),
+            "recover_at_ms": _round(fault.recover_at_ms),
+            "failed_at_ms": _round(fault.failed_at_ms),
+            "recover_done_ms": _round(fault.recover_done_ms),
+            "lost_txns": fault.lost_txns,
+        }
+    windows = []
+    for window in sink.windows.windows:
+        latency = window.latency
+        windows.append(
+            {
+                "t_ms": _round(window.start_ms),
+                "arrivals": window.arrivals,
+                "commits": window.commits,
+                "aborts": window.aborts,
+                "availability": _round(window.availability, 4),
+                "mean_ms": _round(latency.mean) if latency.count else None,
+                "p95_ms": _round(window.p95.value()) if latency.count else None,
+                "in_flight": window.in_flight,
+                "faillocks": window.faillocks,
+            }
+        )
+    abort_reasons = {
+        reason: count for reason, count in sorted(sink.abort_reasons.items())
+    }
+    exemplars = sorted(sink.exemplars.items, key=lambda e: e["txn"])
+    for exemplar in exemplars:
+        exemplar["submitted_at"] = _round(exemplar["submitted_at"])
+        exemplar["latency_ms"] = _round(exemplar["latency_ms"])
+    return {
+        "schema": SOAK_SCHEMA,
+        "config": {
+            "seed": config.seed,
+            "txns": config.txns,
+            "rate_tps": config.rate_tps,
+            "shape": config.shape,
+            "peak_tps": config.peak_tps,
+            "period_ms": config.period_ms,
+            "workload": config.workload,
+            "skew": config.skew,
+            "storm_every_ms": config.storm_every_ms,
+            "num_sites": config.num_sites,
+            "db_size": config.db_size,
+            "max_txn_size": config.max_txn_size,
+            "cores": config.cores,
+            "wire_latency_ms": config.wire_latency_ms,
+            "detection": config.detection,
+            "window_ms": config.window_ms,
+            "rel_err": config.rel_err,
+            "exemplars": config.exemplars,
+            "fail_site": config.fail_site,
+        },
+        "totals": {
+            "txns": result.txns,
+            "commits": result.commits,
+            "aborts": result.aborts,
+            "lost": result.lost,
+            "abort_reasons": abort_reasons,
+            "elapsed_ms": _round(result.elapsed_ms),
+            "throughput_tps": _round(result.throughput_tps),
+            "abort_rate": _round(result.abort_rate, 4),
+            "events_fired": result.events_fired,
+            "lock_parks": result.lock_parks,
+            "deadlocks_detected": result.deadlocks_detected,
+            "status_inquiries": result.status_inquiries,
+        },
+        "latency_ms": _latency_block(sink.latency_committed),
+        "latency_all_ms": _latency_block(sink.latency_all),
+        "fault": fault_doc,
+        "windows": {
+            # The width the run actually used (config.window_ms widened so
+            # the series stays under config.max_windows points).
+            "window_ms": sink.windows.window_ms,
+            "series": windows,
+        },
+        "availability": _availability_analysis(
+            windows, fault_doc, sink.windows.window_ms
+        ),
+        "exemplars": exemplars,
+    }
+
+
+def validate_soak_report(doc: dict) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+
+    def need(container: dict, key: str, kinds, where: str) -> bool:
+        if key not in container:
+            problems.append(f"{where}: missing key {key!r}")
+            return False
+        if kinds is not None and not isinstance(container[key], kinds):
+            problems.append(
+                f"{where}.{key}: expected {kinds}, got "
+                f"{type(container[key]).__name__}"
+            )
+            return False
+        return True
+
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SOAK_SCHEMA:
+        problems.append(f"schema: expected {SOAK_SCHEMA!r}, got {doc.get('schema')!r}")
+    for section in ("config", "totals", "latency_ms", "latency_all_ms",
+                    "windows", "availability"):
+        need(doc, section, dict, "doc")
+    if "exemplars" in doc and not isinstance(doc["exemplars"], list):
+        problems.append("doc.exemplars: expected list")
+    if problems:
+        return problems
+
+    totals = doc["totals"]
+    for key in ("txns", "commits", "aborts", "lost", "events_fired"):
+        need(totals, key, int, "totals")
+    if not problems and totals["commits"] + totals["aborts"] != totals["txns"]:
+        problems.append(
+            f"totals: commits + aborts != txns "
+            f"({totals['commits']} + {totals['aborts']} != {totals['txns']})"
+        )
+    if not problems and totals["txns"] != doc["config"].get("txns"):
+        problems.append(
+            f"totals.txns {totals['txns']} != config.txns "
+            f"{doc['config'].get('txns')}"
+        )
+
+    windows = doc["windows"]
+    if need(windows, "series", list, "windows"):
+        last_t = -1.0
+        for i, window in enumerate(windows["series"]):
+            where = f"windows.series[{i}]"
+            if not isinstance(window, dict):
+                problems.append(f"{where}: expected object")
+                continue
+            for key in ("t_ms", "arrivals", "commits", "aborts"):
+                need(window, key, (int, float), where)
+            availability = window.get("availability")
+            if availability is not None and not 0.0 <= availability <= 1.0:
+                problems.append(f"{where}.availability out of [0,1]: {availability}")
+            t = window.get("t_ms", last_t)
+            if isinstance(t, (int, float)):
+                if t <= last_t:
+                    problems.append(f"{where}.t_ms not increasing: {t}")
+                last_t = t
+        done = sum(
+            w.get("commits", 0) + w.get("aborts", 0)
+            for w in windows["series"]
+            if isinstance(w, dict)
+        )
+        if done != totals["txns"]:
+            problems.append(
+                f"windows account for {done} completions, totals say "
+                f"{totals['txns']}"
+            )
+    return problems
+
+
+def _series_points(doc: dict, key: str) -> list[tuple[float, float]]:
+    return [
+        (w["t_ms"], w[key])
+        for w in doc["windows"]["series"]
+        if w.get(key) is not None
+    ]
+
+
+def render_soak_text(doc: dict) -> str:
+    """Human-readable report: totals, fault timeline, ASCII charts."""
+    from repro.viz.ascii_chart import AsciiChart
+
+    def _chart(name: str, points: list[tuple[float, float]], title: str) -> str:
+        chart = AsciiChart(height=10, title=title, x_label="time (ms)")
+        chart.add_series(name, points)
+        return chart.render()
+
+    totals = doc["totals"]
+    latency = doc["latency_ms"]
+    lines = [
+        f"soak: {totals['txns']} txns over {totals['elapsed_ms']:.0f} ms "
+        f"(shape={doc['config']['shape']}, workload={doc['config']['workload']}, "
+        f"seed={doc['config']['seed']})",
+        f"  commits={totals['commits']} aborts={totals['aborts']} "
+        f"(lost={totals['lost']}) abort_rate={totals['abort_rate']:.2%} "
+        f"throughput={totals['throughput_tps']:.1f} tps",
+        f"  committed latency ms: mean={latency['mean']} p50={latency['p50']} "
+        f"p95={latency['p95']} p99={latency['p99']} max={latency['max']}",
+    ]
+    fault = doc.get("fault")
+    availability = doc["availability"]
+    if fault is not None and fault.get("failed_at_ms") is not None:
+        lines.append(
+            f"  fault: site {fault['site']} failed at {fault['failed_at_ms']:.0f} ms "
+            f"(lost {fault['lost_txns']} in-flight), recover done at "
+            f"{fault['recover_done_ms'] if fault['recover_done_ms'] is not None else '-'} ms"
+        )
+        if availability["baseline"] is not None:
+            recovery = (
+                f"{availability['time_to_baseline_ms']:.0f} ms"
+                if availability.get("time_to_baseline_ms") is not None
+                else "never"
+            )
+            lines.append(
+                f"  availability: baseline={availability['baseline']:.3f} "
+                f"dip={availability['dip']:.3f} at {availability['dip_t_ms']:.0f} ms, "
+                f"back to baseline in {recovery}"
+            )
+    chart_avail = _series_points(doc, "availability")
+    if chart_avail:
+        lines.append("")
+        lines.append(
+            _chart("availability", chart_avail, "availability per window")
+        )
+    chart_p95 = _series_points(doc, "p95_ms")
+    if chart_p95:
+        lines.append("")
+        lines.append(
+            _chart("p95 latency (ms)", chart_p95, "latency p95 per window")
+        )
+    return "\n".join(lines)
+
+
+def write_report(doc: dict, path: str | Path) -> Path:
+    """Write the report with fixed formatting (byte-deterministic)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def write_soak_svg(doc: dict, path: str | Path) -> Path:
+    """Figure hook: availability + p95 latency series as one SVG."""
+    from repro.viz.svg_chart import SvgChart
+
+    series = {}
+    avail = _series_points(doc, "availability")
+    if avail:
+        # Scale availability to percent so both series share an axis range.
+        series["availability (%)"] = [(t, v * 100.0) for t, v in avail]
+    p95 = _series_points(doc, "p95_ms")
+    if p95:
+        series["p95 latency (ms)"] = p95
+    if not series:
+        raise ConfigurationError("soak report has no plottable series")
+    chart = SvgChart(
+        title="soak: availability and latency",
+        x_label="time (ms)",
+        y_label="availability (%) / p95 latency (ms)",
+    )
+    for name, points in series.items():
+        chart.add_series(name, points)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(chart.render(), encoding="utf-8")
+    return path

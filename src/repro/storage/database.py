@@ -154,6 +154,11 @@ class SiteDatabase:
         item.version = version
         item.committed_at = time
 
+    def drop_staged(self) -> None:
+        """Lose every pre-commit buffer (a warm crash): committed copies
+        survive, but the staging area is volatile memory."""
+        self._staged.clear()
+
     def wipe(self) -> None:
         """Lose all volatile state (a cold crash): every copy reverts to
         the initial value/version, staged updates and the log are gone."""
@@ -162,7 +167,7 @@ class SiteDatabase:
             item.version = 0
             item.committed_at = 0.0
         self._staged.clear()
-        self.log = RedoLog()
+        self.log = RedoLog(self.log.capacity)
 
     def dump(self) -> dict[int, tuple[int, int]]:
         """``{item_id: (value, version)}`` — for consistency audits."""

@@ -26,9 +26,18 @@ class LogRecord:
 
 
 class RedoLog:
-    """Append-only per-site redo log."""
+    """Append-only per-site redo log.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds retention for long soak runs (the lsn keeps
+    counting, further records are dropped and tallied — same contract as
+    :class:`repro.net.trace.MessageTrace`); ``None`` retains everything,
+    which is what the tests and recovery audits rely on.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self.dropped_records = 0
+        self._lsn = 0
         self._records: list[LogRecord] = []
 
     def append(
@@ -42,9 +51,9 @@ class RedoLog:
         time: float,
     ) -> LogRecord:
         """Record one write; returns the new record."""
-        records = self._records
+        self._lsn += 1
         record = LogRecord(
-            len(records) + 1,
+            self._lsn,
             txn_id,
             item_id,
             old_value,
@@ -53,7 +62,10 @@ class RedoLog:
             new_version,
             time,
         )
-        records.append(record)
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped_records += 1
+        else:
+            self._records.append(record)
         return record
 
     @property

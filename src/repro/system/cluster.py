@@ -32,13 +32,16 @@ class Cluster:
         self,
         config: Optional[SystemConfig] = None,
         catalog: Optional[ReplicationCatalog] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         self.config.validate()
         self.scheduler = EventScheduler()
         self.cpu = CpuResource(self.scheduler, cores=self.config.cores)
         self.rng = DeterministicRng(self.config.seed)
-        self.metrics = MetricsCollector()
+        # Callers may inject a collector wired to a streaming sink (soak
+        # runs); the default retains exact per-transaction records.
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self.network = Network(
             scheduler=self.scheduler,
             cpu=self.cpu,

@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError, ProtocolError, SimulationError
+from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import TxnRecord
 from repro.metrics.stats import Summary, summarize
+from repro.metrics.streaming import StreamingTxnSink
 from repro.net.endpoint import Endpoint, HandlerContext
 from repro.net.message import Message, MessageType
 from repro.system.cluster import Cluster
@@ -180,11 +182,19 @@ def run_open_loop(
     txn_count: int = 200,
     arrival_rate_tps: float = 20.0,
     deadlock_retries: int = 0,
+    keep_records: bool = True,
 ) -> OpenLoopResult:
     """Run a concurrent open-loop workload and return its statistics.
 
     ``config.concurrency_control`` is forced on; without locks, concurrent
     2PC interleavings would not be serializable.
+
+    ``keep_records=False`` routes every transaction outcome through a
+    streaming sink instead of retaining ``TxnRecord`` objects: the result's
+    ``records`` list is empty, ``latency`` comes from an online quantile
+    sketch (see :mod:`repro.metrics.sketch` for the error bound), and
+    memory stays flat however large ``txn_count`` grows.  The simulation
+    itself is identical — only the measurement pipeline changes.
     """
     if config is None:
         config = SystemConfig()
@@ -192,7 +202,14 @@ def run_open_loop(
         raise ConfigurationError(
             "open-loop runs need SystemConfig(concurrency_control=True)"
         )
-    cluster = Cluster(config)
+    sink: Optional[StreamingTxnSink] = None
+    if keep_records:
+        cluster = Cluster(config)
+    else:
+        sink = StreamingTxnSink()
+        cluster = Cluster(
+            config, metrics=MetricsCollector(txn_sink=sink, retain_txns=False)
+        )
     detector = GlobalDeadlockDetector()
     for site in cluster.sites:
         assert site.lock_service is not None
@@ -214,10 +231,14 @@ def run_open_loop(
         )
 
     metrics = cluster.metrics
-    latencies = [t.elapsed for t in metrics.committed]
-    deadlock_aborts = sum(
-        1 for t in metrics.aborted if t.abort_reason is AbortReason.LOCK_DEADLOCK
-    )
+    if sink is None:
+        latency = summarize([t.elapsed for t in metrics.committed])
+        deadlock_aborts = sum(
+            1 for t in metrics.aborted if t.abort_reason is AbortReason.LOCK_DEADLOCK
+        )
+    else:
+        latency = sink.latency_committed.to_summary()
+        deadlock_aborts = sink.abort_count(AbortReason.LOCK_DEADLOCK.value)
     parks = sum(
         site.lock_service.parks for site in cluster.sites if site.lock_service
     )
@@ -231,7 +252,7 @@ def run_open_loop(
         deadlock_aborts=deadlock_aborts,
         deadlocks_detected=detector.deadlocks_found,
         elapsed_ms=cluster.now,
-        latency=summarize(latencies),
+        latency=latency,
         lock_parks=parks,
         retries=manager.retries_issued,
         events_fired=cluster.scheduler.fired,

@@ -15,15 +15,34 @@ Wisconsin benchmarks the authors planned to repeat the experiments with.
 from repro.workload.base import WorkloadGenerator
 from repro.workload.uniform import UniformWorkload
 from repro.workload.readwrite import ReadWriteWorkload
+from repro.workload.zipf import ZipfGenerator, ZipfWorkload
 from repro.workload.hotset import ZipfHotSetWorkload
 from repro.workload.et1 import Et1Workload
 from repro.workload.wisconsin import WisconsinWorkload
+from repro.workload.shapes import (
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    HotKeyStormWorkload,
+    LoadShape,
+    RampShape,
+    next_arrival_ms,
+)
 
 __all__ = [
     "WorkloadGenerator",
     "UniformWorkload",
     "ReadWriteWorkload",
+    "ZipfGenerator",
+    "ZipfWorkload",
     "ZipfHotSetWorkload",
     "Et1Workload",
     "WisconsinWorkload",
+    "LoadShape",
+    "ConstantShape",
+    "RampShape",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "HotKeyStormWorkload",
+    "next_arrival_ms",
 ]

@@ -1,0 +1,190 @@
+"""Load shapes and hot-key storms (repro.workload.shapes).
+
+Shapes are checked analytically (known values at known times); arrivals
+via thinning are checked for determinism and for respecting the
+instantaneous rate; the storm workload is checked for epoch rotation and
+for the zero-extra-draws property that keeps soak runs byte-stable.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.shapes import (
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    HotKeyStormWorkload,
+    RampShape,
+    next_arrival_ms,
+)
+
+
+# -- shapes, analytically -----------------------------------------------------
+
+
+def test_constant_shape():
+    shape = ConstantShape(25.0)
+    assert shape.rate_at(0.0) == 25.0
+    assert shape.rate_at(1e9) == 25.0
+    assert shape.peak_rate() == 25.0
+    assert shape.mean_rate(60_000.0) == pytest.approx(25.0)
+
+
+def test_ramp_shape_interpolates_then_holds():
+    shape = RampShape(10.0, 50.0, duration_ms=1000.0)
+    assert shape.rate_at(0.0) == 10.0
+    assert shape.rate_at(500.0) == pytest.approx(30.0)
+    assert shape.rate_at(1000.0) == 50.0
+    assert shape.rate_at(5000.0) == 50.0
+    assert shape.peak_rate() == 50.0
+
+
+def test_diurnal_shape_base_trough_and_mid_period_peak():
+    shape = DiurnalShape(10.0, 40.0, period_ms=20_000.0)
+    assert shape.rate_at(0.0) == pytest.approx(10.0)
+    assert shape.rate_at(10_000.0) == pytest.approx(40.0)  # mid-period
+    assert shape.rate_at(20_000.0) == pytest.approx(10.0)  # full period
+    assert shape.rate_at(5_000.0) == pytest.approx(25.0)  # quarter: midpoint
+    assert shape.peak_rate() == 40.0
+    # One full period averages (base + peak) / 2 for a pure sinusoid.
+    assert shape.mean_rate(20_000.0) == pytest.approx(25.0, rel=0.01)
+
+
+def test_flash_crowd_shape_rise_and_decay():
+    shape = FlashCrowdShape(10.0, 100.0, at_ms=5000.0,
+                            rise_ms=1000.0, fall_ms=2000.0)
+    assert shape.rate_at(0.0) == 10.0
+    assert shape.rate_at(4999.0) == 10.0
+    assert shape.rate_at(5500.0) == pytest.approx(55.0)  # halfway up
+    assert shape.rate_at(6000.0) == pytest.approx(100.0)  # peak
+    # One time constant into the decay: base + surge / e.
+    assert shape.rate_at(8000.0) == pytest.approx(10.0 + 90.0 / math.e)
+    assert shape.peak_rate() == 100.0
+
+
+def test_shapes_reject_bad_args():
+    with pytest.raises(WorkloadError):
+        ConstantShape(0.0)
+    with pytest.raises(WorkloadError):
+        RampShape(10.0, 20.0, duration_ms=0.0)
+    with pytest.raises(WorkloadError):
+        DiurnalShape(10.0, 5.0, period_ms=1000.0)  # peak < base
+    with pytest.raises(WorkloadError):
+        FlashCrowdShape(10.0, 100.0, at_ms=-1.0)
+
+
+def test_describe_is_humane():
+    assert "constant" in ConstantShape(25.0).describe()
+    assert "ramp" in RampShape(1.0, 2.0, 10.0).describe()
+    assert "diurnal" in DiurnalShape(1.0, 2.0, 10.0).describe()
+    assert "flash" in FlashCrowdShape(1.0, 2.0, 10.0).describe()
+
+
+# -- thinning -----------------------------------------------------------------
+
+
+def test_next_arrival_is_deterministic_and_increasing():
+    shape = DiurnalShape(5.0, 40.0, period_ms=10_000.0)
+
+    def arrivals(seed, count=200):
+        rng = random.Random(seed)
+        times, t = [], 0.0
+        for _ in range(count):
+            t = next_arrival_ms(shape, rng, t)
+            times.append(t)
+        return times
+
+    first, second = arrivals(42), arrivals(42)
+    assert first == second
+    assert all(b > a for a, b in zip(first, first[1:]))
+    assert arrivals(43) != first
+
+
+def test_thinned_rate_tracks_instantaneous_rate():
+    """Over many arrivals, the per-region density matches rate_at: the
+    diurnal peak half of the period must see more arrivals than the
+    trough half in roughly the ratio of their mean rates."""
+    period = 10_000.0
+    shape = DiurnalShape(5.0, 45.0, period_ms=period)
+    rng = random.Random(7)
+    t, trough, peak = 0.0, 0, 0
+    for _ in range(12_000):
+        t = next_arrival_ms(shape, rng, t)
+        phase = t % period
+        if period * 0.25 <= phase < period * 0.75:
+            peak += 1
+        else:
+            trough += 1
+    # Analytic ratio of mean rates across the two half-periods:
+    # peak half averages base + swing*(0.5 + 1/pi), trough half
+    # base + swing*(0.5 - 1/pi) -> ~= 3.17 with these numbers.
+    swing = 45.0 - 5.0
+    expected = (5.0 + swing * (0.5 + 1.0 / math.pi)) / (
+        5.0 + swing * (0.5 - 1.0 / math.pi)
+    )
+    assert peak / trough == pytest.approx(expected, rel=0.1)
+
+
+def test_constant_shape_thinning_matches_homogeneous_rate():
+    shape = ConstantShape(50.0)
+    rng = random.Random(3)
+    t = 0.0
+    count = 5000
+    for _ in range(count):
+        t = next_arrival_ms(shape, rng, t)
+    # 50 tps -> 20 ms mean gap.
+    assert t / count == pytest.approx(20.0, rel=0.05)
+
+
+# -- hot-key storms -----------------------------------------------------------
+
+
+def test_storm_epochs_rotate_hot_items():
+    items = list(range(64))
+    workload = HotKeyStormWorkload(items, max_txn_size=1, skew=1.5,
+                                   storm_every_ms=1000.0)
+    assert workload.epoch_of(0.0) == 0
+    assert workload.epoch_of(999.9) == 0
+    assert workload.epoch_of(1000.0) == 1
+    # Rank 0 (the hottest key) maps to different items in different epochs.
+    hot_keys = {workload._item_for(0, epoch) for epoch in range(8)}
+    assert len(hot_keys) > 1
+    # Within one epoch the mapping is a bijection over the item set.
+    epoch_view = [workload._item_for(rank, 3) for rank in range(len(items))]
+    assert sorted(epoch_view) == items
+
+
+def test_storm_rotation_consumes_no_extra_draws():
+    """Epoch rotation is a pure function of t: generating the same seq at
+    two different times consumes exactly the same RNG draws."""
+    workload = HotKeyStormWorkload(list(range(32)), max_txn_size=4,
+                                   storm_every_ms=500.0)
+    rng_a, rng_b = random.Random(88), random.Random(88)
+    ops_a = workload.generate_at(1, rng_a, t_ms=100.0)  # epoch 0
+    ops_b = workload.generate_at(1, rng_b, t_ms=99_100.0)  # epoch 198
+    assert rng_a.getstate() == rng_b.getstate()
+    # Same draws, rotated items: op count and kinds match, ranks map
+    # through different epoch offsets.
+    assert len(ops_a) == len(ops_b)
+    assert [op.kind for op in ops_a] == [op.kind for op in ops_b]
+
+
+def test_storm_generate_pins_epoch_zero():
+    workload = HotKeyStormWorkload(list(range(16)), max_txn_size=3,
+                                   storm_every_ms=1000.0)
+    rng_a, rng_b = random.Random(5), random.Random(5)
+    via_generate = workload.generate(9, rng_a)
+    via_epoch0 = workload.generate_at(9, rng_b, t_ms=0.0)
+    assert [(o.kind, o.item_id) for o in via_generate] == [
+        (o.kind, o.item_id) for o in via_epoch0
+    ]
+
+
+def test_storm_rejects_bad_args():
+    with pytest.raises(WorkloadError):
+        HotKeyStormWorkload([1, 2], max_txn_size=0)
+    with pytest.raises(WorkloadError):
+        HotKeyStormWorkload([1, 2], max_txn_size=2, storm_every_ms=0.0)

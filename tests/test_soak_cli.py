@@ -1,0 +1,155 @@
+"""The soak and bench --soak command-line surface.
+
+In-process ``main([...])`` invocations with a small run; the heavy
+flatness benchmark itself is not run here (it spawns subprocesses), only
+its document validation and rendering.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.perf.soakbench import (
+    RSS_FLATNESS_RATIO,
+    SCALE,
+    TRACED_FLATNESS_RATIO,
+    render_soak_bench,
+    validate_soak_bench_doc,
+)
+
+SMALL = ["soak", "run", "--txns", "300", "--rate", "40"]
+
+
+def test_parser_soak_run_flags():
+    args = build_parser().parse_args(
+        ["--seed", "9", "soak", "run", "--txns", "500", "--rate", "30",
+         "--shape", "diurnal", "--peak", "60", "--workload", "storm",
+         "--storm-every-ms", "2000", "--detection", "announced",
+         "--fail-at-ms", "4000", "--recover-at-ms", "8000"]
+    )
+    assert args.seed == 9
+    assert (args.txns, args.rate, args.shape, args.peak) == (500, 30.0, "diurnal", 60.0)
+    assert (args.workload, args.storm_every_ms) == ("storm", 2000.0)
+    assert args.detection == "announced"
+    assert (args.fail_at_ms, args.recover_at_ms) == (4000.0, 8000.0)
+    assert callable(args.fn)
+
+
+def test_parser_rejects_unknown_shape_and_workload():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["soak", "run", "--shape", "sawtooth"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["soak", "run", "--workload", "hot-cold"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["soak"])  # subcommand required
+
+
+def test_soak_run_prints_report(capsys):
+    assert main(["--seed", "3", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "soak: 300 txns" in out
+    assert "availability per window" in out
+
+
+def test_soak_run_writes_and_validates_roundtrip(tmp_path, capsys):
+    report = tmp_path / "soak.json"
+    assert main(["--seed", "3", *SMALL, "--out", str(report)]) == 0
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "repro.soak/1"
+    assert doc["totals"]["txns"] == 300
+    capsys.readouterr()
+    assert main(["soak", "validate", "--file", str(report)]) == 0
+    assert "valid soak report" in capsys.readouterr().out
+
+
+def test_soak_run_same_seed_same_bytes(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(["--seed", "7", *SMALL, "--out", str(first)]) == 0
+    assert main(["--seed", "7", *SMALL, "--out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_soak_run_writes_svg(tmp_path):
+    svg = tmp_path / "soak.svg"
+    assert main(["--seed", "3", *SMALL, "--svg", str(svg)]) == 0
+    content = svg.read_text()
+    assert content.startswith("<svg")
+    assert "availability" in content
+
+
+def test_soak_run_no_fail_flag(tmp_path):
+    report = tmp_path / "nofail.json"
+    assert main(["--seed", "3", *SMALL, "--no-fail", "--out", str(report)]) == 0
+    doc = json.loads(report.read_text())
+    assert doc["fault"] is None
+    assert doc["config"]["fail_site"] is None
+
+
+def test_soak_validate_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "repro.soak/1", "totals": {}}))
+    assert main(["soak", "validate", "--file", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+# -- bench --soak document ----------------------------------------------------
+
+
+def fake_bench_doc(**overrides):
+    short = {"txns": 1000, "commits": 900, "events": 50_000,
+             "wall_s": 2.0, "peak_rss_kb": 30_000, "traced_peak_kb": 1500.0}
+    long_run = dict(short, txns=1000 * SCALE, commits=900 * SCALE,
+                    wall_s=40.0, traced_peak_kb=1800.0)
+    doc = {
+        "schema": "repro.bench/1",
+        "kind": "soak",
+        "quick": True,
+        "seed": 42,
+        "scale": SCALE,
+        "short": short,
+        "long": long_run,
+        "rss_ratio": 1.0,
+        "traced_ratio": 1.2,
+        "rss_allowed": RSS_FLATNESS_RATIO,
+        "traced_allowed": TRACED_FLATNESS_RATIO,
+        "flat": True,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_bench_doc_validates_clean():
+    assert validate_soak_bench_doc(fake_bench_doc()) == []
+
+
+def test_bench_doc_flags_problems():
+    assert any(
+        "flat" in p for p in validate_soak_bench_doc(fake_bench_doc(flat=False))
+    )
+    assert any(
+        "long.txns" in p
+        for p in validate_soak_bench_doc(
+            fake_bench_doc(long=dict(fake_bench_doc()["long"], txns=123))
+        )
+    )
+    assert validate_soak_bench_doc({"schema": "repro.bench/1", "kind": "exp1"})
+    missing = fake_bench_doc()
+    del missing["short"]
+    assert any("short" in p for p in validate_soak_bench_doc(missing))
+
+
+def test_bench_render_names_the_verdict():
+    text = render_soak_bench(fake_bench_doc())
+    assert "FLAT" in text
+    assert "scale 20x" in text
+    not_flat = render_soak_bench(fake_bench_doc(flat=False))
+    assert "NOT FLAT" in not_flat
+
+
+def test_parser_bench_soak_flag():
+    args = build_parser().parse_args(["bench", "--quick", "--soak"])
+    assert args.quick is True
+    assert args.soak is True

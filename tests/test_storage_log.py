@@ -39,3 +39,24 @@ def test_empty_log_queries():
     assert log.for_txn(1) == []
     assert log.for_item(1) == []
     assert len(log) == 0
+
+
+def test_capacity_bounds_retained_records_but_lsns_keep_counting():
+    log = RedoLog(capacity=3)
+    records = [
+        log.append(i, 0, i, i + 1, i, i + 1, float(i)) for i in range(10)
+    ]
+    # Every append still gets a dense lsn (the returned record is real)...
+    assert [r.lsn for r in records] == list(range(1, 11))
+    # ...but only the first `capacity` records are retained; the rest are
+    # dropped and tallied, like the message trace.
+    assert len(log) == 3
+    assert log.dropped_records == 7
+
+
+def test_unbounded_log_drops_nothing():
+    log = RedoLog()
+    for i in range(50):
+        log.append(i, 0, i, i + 1, i, i + 1, float(i))
+    assert len(log) == 50
+    assert log.dropped_records == 0
