@@ -45,6 +45,10 @@ class NeuteredFailLockTable(FailLockTable):
     site's roles hold (recovery manager, planner) sees the broken behavior.
     """
 
+    # Empty slots keep the object layout identical to the parent, which
+    # the live ``__class__`` swap requires.
+    __slots__ = ()
+
     def set_lock(self, item_id: int, site_id: int) -> None:
         self._mask(item_id)  # keep validation, skip the write
 

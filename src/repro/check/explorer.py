@@ -39,7 +39,7 @@ from repro.check.choices import Decision
 from repro.check.runner import CheckConfig, CheckRunResult, run_schedule
 from repro.metrics.records import ViolationRecord
 
-__all__ = ["ExplorationStats", "ExplorationResult", "explore"]
+__all__ = ["ExplorationStats", "ExplorationResult", "explore", "explore_parallel"]
 
 # Expansion priority by choice kind: crash/drop placements find protocol
 # bugs far more often than event permutations, so they go first.
@@ -68,6 +68,10 @@ class ExplorationResult:
     counterexample: Optional[list[int]] = None
     violation: Optional[ViolationRecord] = None
     counterexample_run: Optional[CheckRunResult] = None
+    # Every branch-point fingerprint expanded by the search, sorted.  For
+    # a parallel exploration this is the deterministic merge of the
+    # workers' sets (input-order union — independent of worker timing).
+    fingerprints: tuple[str, ...] = ()
 
     @property
     def found(self) -> bool:
@@ -86,6 +90,82 @@ def _sleep_prunable(decision: Decision, alt: int) -> bool:
         if earlier[0] != "deliver" or earlier[2] == dst:
             return False
     return True
+
+
+def _expand_children(
+    run: CheckRunResult,
+    prefix: list[int],
+    expanded: set[str],
+    stats: ExplorationStats,
+    *,
+    max_depth: int,
+    sleep_sets: bool,
+) -> list[tuple[int, int, list[int]]]:
+    """New branch alternatives below ``prefix``, as (priority, depth, vector)."""
+    children: list[tuple[int, int, list[int]]] = []
+    for index, decision in enumerate(run.decisions):
+        if index < len(prefix):
+            continue  # fixed by the prefix; expanded by an ancestor
+        if index >= max_depth:
+            break
+        if decision.arity < 2:
+            continue
+        if decision.fingerprint in expanded:
+            stats.pruned_visited += 1
+            continue
+        expanded.add(decision.fingerprint)
+        base = [d.chosen for d in run.decisions[:index]]
+        priority = _KIND_PRIORITY.get(decision.kind, 1)
+        for alt in range(1, decision.arity):
+            if sleep_sets and _sleep_prunable(decision, alt):
+                stats.pruned_sleep += 1
+                continue
+            children.append((priority, index, base + [alt]))
+    return children
+
+
+def _search(
+    config: CheckConfig,
+    frontier: list[list[int]],
+    expanded: set[str],
+    stats: ExplorationStats,
+    result: ExplorationResult,
+    *,
+    max_runs: int,
+    max_depth: int,
+    stop_on_violation: bool,
+    sleep_sets: bool,
+) -> None:
+    """The bounded-DFS loop shared by serial and per-worker exploration.
+
+    Mutates ``frontier``, ``expanded``, ``stats``, and ``result`` in
+    place; a pure function of its arguments otherwise (same inputs, same
+    visited-state count, same counterexample — byte for byte).
+    """
+    while frontier:
+        if stats.runs >= max_runs:
+            stats.budget_exhausted = True
+            break
+        prefix = frontier.pop()
+        run = run_schedule(config, prefix)
+        stats.runs += 1
+
+        if run.violations:
+            stats.violations_found += 1
+            if result.counterexample is None:
+                result.counterexample = run.chosen
+                result.violation = run.violations[0]
+                result.counterexample_run = run
+            if stop_on_violation:
+                break
+            continue  # don't open branches below a violating schedule
+
+        children = _expand_children(
+            run, prefix, expanded, stats, max_depth=max_depth, sleep_sets=sleep_sets
+        )
+        # Highest-priority, shallowest child on top of the LIFO frontier.
+        children.sort(key=lambda c: (c[0], c[1], c[2]))
+        frontier.extend(vec for _p, _i, vec in reversed(children))
 
 
 def explore(
@@ -108,47 +188,142 @@ def explore(
     # LIFO frontier of decision-vector prefixes; starts at the root (the
     # unperturbed run).
     frontier: list[list[int]] = [[]]
-
-    while frontier:
-        if stats.runs >= max_runs:
-            stats.budget_exhausted = True
-            break
-        prefix = frontier.pop()
-        run = run_schedule(config, prefix)
-        stats.runs += 1
-
-        if run.violations:
-            stats.violations_found += 1
-            if result.counterexample is None:
-                result.counterexample = run.chosen
-                result.violation = run.violations[0]
-                result.counterexample_run = run
-            if stop_on_violation:
-                break
-            continue  # don't open branches below a violating schedule
-
-        children: list[tuple[int, int, list[int]]] = []
-        for index, decision in enumerate(run.decisions):
-            if index < len(prefix):
-                continue  # fixed by the prefix; expanded by an ancestor
-            if index >= max_depth:
-                break
-            if decision.arity < 2:
-                continue
-            if decision.fingerprint in expanded:
-                stats.pruned_visited += 1
-                continue
-            expanded.add(decision.fingerprint)
-            base = [d.chosen for d in run.decisions[:index]]
-            priority = _KIND_PRIORITY.get(decision.kind, 1)
-            for alt in range(1, decision.arity):
-                if sleep_sets and _sleep_prunable(decision, alt):
-                    stats.pruned_sleep += 1
-                    continue
-                children.append((priority, index, base + [alt]))
-        # Highest-priority, shallowest child on top of the LIFO frontier.
-        children.sort(key=lambda c: (c[0], c[1], c[2]))
-        frontier.extend(vec for _p, _i, vec in reversed(children))
-
+    _search(
+        config,
+        frontier,
+        expanded,
+        stats,
+        result,
+        max_runs=max_runs,
+        max_depth=max_depth,
+        stop_on_violation=stop_on_violation,
+        sleep_sets=sleep_sets,
+    )
     stats.states = len(expanded)
+    result.fingerprints = tuple(sorted(expanded))
+    return result
+
+
+def _explore_worker(shared: tuple, prefixes: list[list[int]]) -> tuple:
+    """One worker's share of a parallel exploration (runs in the pool).
+
+    ``shared`` is ``(config, max_runs, max_depth, sleep_sets,
+    stop_on_violation, preexpanded)`` where ``preexpanded`` holds the
+    fingerprints the parent expanded at the root — seeding the visited
+    set with them keeps workers from re-opening root branch points.
+    Returns plain data only: a stats tuple, the sorted fingerprints this
+    worker newly expanded, and the counterexample (vector + violation)
+    if it found one.
+    """
+    config, max_runs, max_depth, sleep_sets, stop_on_violation, preexpanded = shared
+    stats = ExplorationStats()
+    result = ExplorationResult(config=config, stats=stats)
+    expanded = set(preexpanded)
+    # Reversed so the LIFO pop visits this worker's prefixes in the
+    # priority order the parent assigned them.
+    frontier = [list(prefix) for prefix in reversed(prefixes)]
+    _search(
+        config,
+        frontier,
+        expanded,
+        stats,
+        result,
+        max_runs=max_runs,
+        max_depth=max_depth,
+        stop_on_violation=stop_on_violation,
+        sleep_sets=sleep_sets,
+    )
+    new_fingerprints = sorted(expanded.difference(preexpanded))
+    stats_tuple = (
+        stats.runs,
+        stats.pruned_visited,
+        stats.pruned_sleep,
+        stats.violations_found,
+        stats.budget_exhausted,
+    )
+    return (stats_tuple, new_fingerprints, result.counterexample, result.violation)
+
+
+def explore_parallel(
+    config: CheckConfig,
+    *,
+    max_runs: int = 200,
+    max_depth: int = 40,
+    stop_on_violation: bool = True,
+    sleep_sets: bool = True,
+    jobs: int = 2,
+) -> ExplorationResult:
+    """Frontier-parallel bounded exploration across the worker pool.
+
+    The parent executes the root schedule, expands its branch points,
+    and deals the resulting subtree prefixes round-robin to ``jobs``
+    workers — *disjoint* subtrees by construction, since each prefix
+    fixes a different first divergence.  Workers search independently
+    (no shared visited set, so cross-worker duplicates are possible —
+    the price of zero coordination) and return plain data; the parent
+    merges in **input order**: fingerprint sets unioned, stats summed,
+    and the winning counterexample taken from the lowest-numbered worker
+    that found one.  The merged result is therefore a pure function of
+    (config, budgets, jobs) no matter how the OS schedules the workers.
+
+    Note the search *frontier policy* differs from serial ``explore``
+    (serial shares one visited set and one LIFO; workers do not), so
+    stats and the specific counterexample may legitimately differ from a
+    serial run with the same budgets — but not between two parallel runs
+    with the same ``jobs``.
+    """
+    from repro.perf.pool import run_chunked
+
+    stats = ExplorationStats()
+    result = ExplorationResult(config=config, stats=stats)
+    root = run_schedule(config, [])
+    stats.runs = 1
+    if root.violations:
+        stats.violations_found = 1
+        result.counterexample = root.chosen
+        result.violation = root.violations[0]
+        result.counterexample_run = root
+        stats.states = 0
+        return result
+
+    expanded: set[str] = set()
+    children = _expand_children(
+        root, [], expanded, stats, max_depth=max_depth, sleep_sets=sleep_sets
+    )
+    children.sort(key=lambda c: (c[0], c[1], c[2]))
+    prefixes = [vec for _p, _i, vec in children]
+    if not prefixes:
+        stats.states = len(expanded)
+        result.fingerprints = tuple(sorted(expanded))
+        return result
+
+    jobs = max(1, min(jobs, len(prefixes)))
+    # Round-robin in priority order: every worker gets a share of the
+    # bug-dense (fault/fate) subtrees instead of worker 0 taking them all.
+    slices = [prefixes[index::jobs] for index in range(jobs)]
+    budget = max(1, -(-(max_runs - 1) // jobs))  # ceil split of what's left
+    preexpanded = tuple(sorted(expanded))
+    shared = (config, budget, max_depth, sleep_sets, stop_on_violation, preexpanded)
+    outcomes = run_chunked(
+        "check-prefixes", shared, slices, jobs=jobs, chunks_per_worker=1
+    )
+
+    merged = set(expanded)
+    for stats_tuple, new_fingerprints, counterexample, violation in outcomes:
+        runs, pruned_visited, pruned_sleep, violations_found, exhausted = stats_tuple
+        stats.runs += runs
+        stats.pruned_visited += pruned_visited
+        stats.pruned_sleep += pruned_sleep
+        stats.violations_found += violations_found
+        stats.budget_exhausted = stats.budget_exhausted or exhausted
+        merged.update(new_fingerprints)
+        if counterexample is not None and result.counterexample is None:
+            result.counterexample = counterexample
+            result.violation = violation
+    stats.states = len(merged)
+    result.fingerprints = tuple(sorted(merged))
+    if result.counterexample is not None:
+        # Re-execute the winning schedule in-process: deterministic, and
+        # it spares workers from shipping a rich CheckRunResult back.
+        result.counterexample_run = run_schedule(config, result.counterexample)
     return result

@@ -377,6 +377,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     problems = validate_simcore_doc(simcore) + validate_sweep_doc(sweep)
     if args.check:
+        from repro.perf.bench import check_parallel_floor
+
         try:
             with open("BENCH_simcore.json", encoding="utf-8") as fh:
                 committed = json.load(fh)
@@ -390,6 +392,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             problems += check_regression(
                 committed, simcore, tolerance=args.tolerance
             )
+        try:
+            with open("BENCH_sweep.json", encoding="utf-8") as fh:
+                committed_sweep = json.load(fh)
+        except OSError as exc:
+            problems.append(f"BENCH_sweep.json: {exc}")
+        else:
+            problems += [
+                f"committed BENCH_sweep.json: {p}"
+                for p in validate_sweep_doc(committed_sweep)
+            ]
+            problems += check_parallel_floor(committed_sweep, sweep)
     if args.write:
         write_bench_files(simcore, sweep)
         print("wrote BENCH_simcore.json, BENCH_sweep.json")
@@ -443,12 +456,23 @@ def _cmd_check_explore(args: argparse.Namespace) -> int:
     from repro.check import build_schedule_doc, explore, save_schedule
 
     config = _check_config_from_args(args)
-    result = explore(
-        config,
-        max_runs=args.max_runs,
-        max_depth=args.max_depth,
-        sleep_sets=not args.no_sleep_sets,
-    )
+    if args.jobs is not None and args.jobs > 1:
+        from repro.check.explorer import explore_parallel
+
+        result = explore_parallel(
+            config,
+            max_runs=args.max_runs,
+            max_depth=args.max_depth,
+            sleep_sets=not args.no_sleep_sets,
+            jobs=args.jobs,
+        )
+    else:
+        result = explore(
+            config,
+            max_runs=args.max_runs,
+            max_depth=args.max_depth,
+            sleep_sets=not args.no_sleep_sets,
+        )
     _print_check_stats(result.stats)
     if result.found:
         print(f"counterexample: {result.counterexample}")
@@ -691,6 +715,7 @@ def _soak_config_from_args(args: argparse.Namespace) -> "SoakConfig":
         workload=args.workload,
         skew=args.skew,
         storm_every_ms=args.storm_every_ms,
+        read_fraction=args.read_fraction,
         num_sites=args.sites,
         db_size=args.db,
         window_ms=args.window_ms,
@@ -951,6 +976,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument(
         "--out", default=None, help="write the counterexample schedule file"
     )
+    explore_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan frontier expansion across N pool workers "
+        "(disjoint subtree prefixes, deterministically merged)",
+    )
     explore_p.set_defaults(fn=_cmd_check_explore)
 
     replay_p = check_sub.add_parser(
@@ -1025,15 +1055,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="diurnal period / flash-crowd onset time",
     )
     soak_run.add_argument(
-        "--workload", choices=["zipf", "storm"], default="zipf",
-        help="zipf: static skewed popularity; storm: the hot set "
-        "rotates every --storm-every-ms",
+        "--workload",
+        choices=["uniform", "zipf", "storm", "debitcredit", "wisconsin"],
+        default="zipf",
+        help="uniform: flat popularity; zipf: static skewed popularity; "
+        "storm: the hot set rotates every --storm-every-ms; "
+        "debitcredit: TP1 account/teller/branch writes; "
+        "wisconsin: read scans + point updates (--read-fraction)",
     )
     soak_run.add_argument("--skew", type=float, default=0.8,
                           help="Zipf skew parameter")
     soak_run.add_argument(
         "--storm-every-ms", type=float, default=10000.0,
         help="storm workload: hot-set rotation period",
+    )
+    soak_run.add_argument(
+        "--read-fraction", type=float, default=0.7,
+        help="wisconsin workload: fraction of transactions that are "
+        "read scans",
     )
     soak_run.add_argument("--sites", type=int, default=4,
                           help="database sites")
@@ -1078,7 +1117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--quick", action="store_true",
-        help="smaller workloads, single timed rep (CI smoke)",
+        help="smaller workloads (CI smoke); still best-of-3 timing",
     )
     bench.add_argument(
         "--write", action="store_true",

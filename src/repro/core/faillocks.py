@@ -23,6 +23,8 @@ from repro.core.sessions import NominalSessionVector, SiteState
 class FailLockTable:
     """Fail-lock bit maps for every data item, as kept by one site."""
 
+    __slots__ = ("site_ids", "_bit_of", "_masks")
+
     def __init__(self, site_ids: Iterable[int], item_ids: Iterable[int]) -> None:
         self.site_ids = sorted(site_ids)
         self._bit_of = {site: 1 << index for index, site in enumerate(self.site_ids)}

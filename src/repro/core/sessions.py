@@ -44,6 +44,8 @@ class SessionRecord:
 class NominalSessionVector:
     """One site's array of :class:`SessionRecord`, one per system site."""
 
+    __slots__ = ("owner", "_records", "_site_ids")
+
     def __init__(self, owner: int, site_ids: list[int]) -> None:
         if owner not in site_ids:
             raise SessionError(f"owner {owner} not among sites {site_ids}")

@@ -391,11 +391,12 @@ class Network:
             for ready in deliverable:
                 self._deliver_to_endpoint(ready)
             return
-        self._deliver_to_endpoint(msg)
+        self._deliver_to_endpoint(msg, endpoint)
 
-    def _deliver_to_endpoint(self, msg: Message) -> None:
+    def _deliver_to_endpoint(self, msg: Message, endpoint: Endpoint | None = None) -> None:
         """Hand a (logically deliverable) message to its endpoint."""
-        endpoint = self._endpoints[msg.dst]
+        if endpoint is None:
+            endpoint = self._endpoints[msg.dst]
         if not endpoint.alive and msg.mtype not in _DELIVER_WHEN_DOWN:
             # The site died while the message sat in the reorder buffer.
             self.messages_undeliverable += 1

@@ -158,6 +158,8 @@ class ReliableDelivery:
     this module, which is what keeps the paper-experiment seeds stable.
     """
 
+    __slots__ = ("network", "policy", "stats", "_next_seq", "_pending", "_receivers")
+
     def __init__(self, network: "Network", policy: Optional[RetransmitPolicy] = None) -> None:
         self.network = network
         self.policy = policy if policy is not None else RetransmitPolicy()

@@ -3,11 +3,15 @@
 Two concerns live here, both downstream of the fast-path work documented
 in docs/PERFORMANCE.md:
 
-* :mod:`repro.perf.parallel` — a multiprocess executor that fans
-  embarrassingly-parallel sweeps (chaos seeds, experiment replications)
-  across worker processes with a deterministic, input-ordered merge.
-  Parallel results are *identical* to serial ones, not just statistically
-  equivalent: every unit of work is a pure function of its arguments.
+* :mod:`repro.perf.pool` — the persistent worker pool: one long-lived,
+  fork-where-available process pool per interpreter, fed compact
+  ``(kind, shared, seeds)`` specs in contiguous chunks and merged in
+  input order.  Every sweep in the process reuses the same warm workers.
+* :mod:`repro.perf.parallel` — the sweep-facing API on top of the pool
+  (chaos seeds, soak seeds, experiment replications) with a
+  deterministic, input-ordered merge.  Parallel results are *identical*
+  to serial ones, not just statistically equivalent: every unit of work
+  is a pure function of its arguments.
 * :mod:`repro.perf.bench` — the continuous benchmark harness behind
   ``repro bench``.  It times fixed simulation presets (events/sec,
   wall-clock, peak RSS), writes schema-stable JSON artifacts
@@ -28,7 +32,17 @@ from repro.perf.bench import (
     validate_simcore_doc,
     validate_sweep_doc,
 )
-from repro.perf.parallel import parallel_map, run_parallel_seed_sweep
+from repro.perf.parallel import (
+    parallel_map,
+    run_parallel_seed_sweep,
+    run_parallel_soak_sweep,
+)
+from repro.perf.pool import (
+    WorkerPoolError,
+    pool_stats,
+    run_chunked,
+    shutdown_pool,
+)
 from repro.perf.soakbench import (
     render_soak_bench,
     run_soak_bench,
@@ -37,14 +51,19 @@ from repro.perf.soakbench import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "WorkerPoolError",
     "check_regression",
     "parallel_map",
+    "pool_stats",
     "render_bench_table",
     "render_soak_bench",
+    "run_chunked",
     "run_parallel_seed_sweep",
+    "run_parallel_soak_sweep",
     "run_simcore_bench",
     "run_soak_bench",
     "run_sweep_bench",
+    "shutdown_pool",
     "validate_simcore_doc",
     "validate_soak_bench_doc",
     "validate_sweep_doc",

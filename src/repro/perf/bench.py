@@ -133,7 +133,11 @@ PRESETS: dict[str, Callable[[bool], Callable[[], None]]] = {
 
 def run_simcore_bench(quick: bool = False) -> dict[str, Any]:
     """Time every preset; return the ``BENCH_simcore.json`` document."""
-    reps = 1 if quick else 3
+    # Best-of-N even in quick mode: single-shot walls on the sub-100 ms
+    # quick presets swing +-30% under ambient load, which is exactly the
+    # regression-gate tolerance — best-of-3 pulls both sides of a
+    # write-then-check comparison toward the same floor.
+    reps = 3
     presets: dict[str, Any] = {}
     for name, make in PRESETS.items():
         thunk = make(quick)
@@ -170,26 +174,55 @@ def run_sweep_bench(
 
     Also re-asserts the determinism contract: the parallel report must
     equal the serial one (``identical``), every benchmark run.
+
+    Two parallel walls are reported: **cold** (first sweep in the
+    process — includes creating the persistent pool and warming its
+    workers) and **warm** (a second sweep reusing the same pool, the
+    steady-state number every subsequent sweep in a process sees).  The
+    headline ``parallel_wall_s``/``speedup`` are the warm measurements —
+    the committed 0.95x that motivated the persistent pool was a
+    cold-start artifact on a sub-200 ms workload.  ``cpus`` records the
+    cores the kernel granted; on a 1-core box a >1x speedup is
+    physically impossible and the parallel floor gate does not apply.
     """
     import os
 
     from repro.chaos import run_seed_sweep
+    from repro.perf.pool import shutdown_pool
 
     if jobs is None:
         # At least 2, even on a single-core box: the point of this
         # benchmark is as much the identical-to-serial contract as the
         # wall-clock, and jobs=1 would take the serial path entirely.
         jobs = max(2, min(4, os.cpu_count() or 1))
-    seeds = list(range(42, 46 if quick else 50))
-    txns = 30 if quick else 60
+    # Big enough that dispatch overhead cannot dominate: the full sweep
+    # runs for multiple seconds, the quick one for around a second.
+    seeds = list(range(42, 50 if quick else 58))
+    txns = 40 if quick else 80
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
 
     start = time.perf_counter()
     serial = run_seed_sweep(seeds, txns=txns)
     serial_wall = time.perf_counter() - start
 
+    # Cold: pool creation + worker warmup charged to this sweep.
+    shutdown_pool()
     start = time.perf_counter()
-    parallel = run_seed_sweep(seeds, txns=txns, jobs=jobs)
-    parallel_wall = time.perf_counter() - start
+    parallel_cold = run_seed_sweep(seeds, txns=txns, jobs=jobs)
+    cold_wall = time.perf_counter() - start
+
+    # Warm: the same pool, reused — what every later sweep pays.
+    start = time.perf_counter()
+    parallel_warm = run_seed_sweep(seeds, txns=txns, jobs=jobs)
+    warm_wall = time.perf_counter() - start
+
+    # Leave the process as we found it: live forked workers keep the
+    # parent paying copy-on-write faults on every dirtied page, which
+    # taxes any measurement that runs after this one in-process.
+    shutdown_pool()
 
     return {
         "schema": BENCH_SCHEMA,
@@ -198,12 +231,15 @@ def run_sweep_bench(
         "seeds": seeds,
         "txns": txns,
         "jobs": jobs,
+        "cpus": cpus,
         "serial_wall_s": round(serial_wall, 6),
-        "parallel_wall_s": round(parallel_wall, 6),
-        "speedup": round(serial_wall / parallel_wall, 2)
-        if parallel_wall > 0
-        else 0.0,
-        "identical": serial.results == parallel.results,
+        "parallel_wall_s": round(warm_wall, 6),
+        "parallel_cold_wall_s": round(cold_wall, 6),
+        "parallel_warm_wall_s": round(warm_wall, 6),
+        "speedup": round(serial_wall / warm_wall, 2) if warm_wall > 0 else 0.0,
+        "cold_speedup": round(serial_wall / cold_wall, 2) if cold_wall > 0 else 0.0,
+        "identical": serial.results == parallel_cold.results
+        and serial.results == parallel_warm.results,
     }
 
 
@@ -248,6 +284,16 @@ def validate_sweep_doc(doc: Any) -> list[str]:
             )
     if doc.get("identical") is not True:
         problems.append("identical: parallel sweep diverged from serial")
+    # Warm/cold walls and cpus are additive (schema stays repro.bench/1);
+    # validate them only when present so older artifacts still read.
+    for fieldname in ("parallel_cold_wall_s", "parallel_warm_wall_s", "cpus"):
+        value = doc.get(fieldname)
+        if value is not None and (
+            not isinstance(value, (int, float)) or value <= 0
+        ):
+            problems.append(
+                f"{fieldname}: expected a positive number, got {value!r}"
+            )
     return problems
 
 
@@ -296,6 +342,38 @@ def check_regression(
     return problems
 
 
+PARALLEL_SPEEDUP_FLOOR = 1.2
+
+
+def check_parallel_floor(
+    committed: dict[str, Any],
+    fresh: dict[str, Any],
+    floor: float = PARALLEL_SPEEDUP_FLOOR,
+) -> list[str]:
+    """The parallel-speedup floor: fresh warm speedup must stay >= ``floor``.
+
+    Applies only when the fresh run had ``jobs >= 2`` **and** at least
+    two CPUs (``cpus`` in the artifact): with one core the kernel
+    serializes the workers and a >1x speedup is physically impossible,
+    so the gate reports nothing rather than failing on hardware it
+    cannot pass on.  Failures name fresh-vs-committed numbers the same
+    way the simcore gate does.
+    """
+    jobs = fresh.get("jobs", 0)
+    cpus = fresh.get("cpus", 1)
+    if jobs < 2 or cpus < 2:
+        return []
+    fresh_speedup = fresh.get("speedup", 0.0)
+    committed_speedup = committed.get("speedup", 0.0)
+    if fresh_speedup < floor:
+        return [
+            f"sweep: parallel speedup {fresh_speedup:.2f}x at jobs={jobs} "
+            f"fell below the {floor:.1f}x floor (committed "
+            f"{committed_speedup:.2f}x, cpus={cpus})"
+        ]
+    return []
+
+
 def render_bench_table(simcore: dict[str, Any], sweep: dict[str, Any]) -> str:
     """Human-readable summary of both benchmark documents."""
     from repro.experiments.report import format_table
@@ -317,12 +395,19 @@ def render_bench_table(simcore: dict[str, Any], sweep: dict[str, Any]) -> str:
             rows,
         ),
         "",
-        f"sweep ({len(sweep['seeds'])} seeds x {sweep['txns']} txns): "
+        f"sweep ({len(sweep['seeds'])} seeds x {sweep['txns']} txns, "
+        f"cpus={sweep.get('cpus', '?')}): "
         f"serial {sweep['serial_wall_s'] * 1000:.0f} ms, "
         f"parallel(jobs={sweep['jobs']}) "
-        f"{sweep['parallel_wall_s'] * 1000:.0f} ms "
-        f"({sweep['speedup']:.2f}x), "
-        f"identical={'yes' if sweep['identical'] else 'NO'}",
+        f"warm {sweep['parallel_wall_s'] * 1000:.0f} ms "
+        f"({sweep['speedup']:.2f}x)"
+        + (
+            f", cold {sweep['parallel_cold_wall_s'] * 1000:.0f} ms "
+            f"({sweep.get('cold_speedup', 0.0):.2f}x)"
+            if "parallel_cold_wall_s" in sweep
+            else ""
+        )
+        + f", identical={'yes' if sweep['identical'] else 'NO'}",
     ]
     return "\n".join(lines)
 

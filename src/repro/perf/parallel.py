@@ -1,17 +1,24 @@
 """Multiprocess fan-out for seed sweeps and experiment replications.
 
-Chaos sweeps and multi-seed experiment replications are embarrassingly
-parallel: each unit of work is a *pure function* of its arguments — it
-builds its own cluster, its own scheduler, and its own named RNG streams
-from the seed, and shares no mutable state with any other unit.  That is
-exactly the property the determinism tests pin down, and it is what makes
-process-level parallelism safe here: a worker process cannot perturb a
-simulation it does not share memory with.
+Chaos sweeps, soak sweeps, and multi-seed experiment replications are
+embarrassingly parallel: each unit of work is a *pure function* of its
+arguments — it builds its own cluster, its own scheduler, and its own
+named RNG streams from the seed, and shares no mutable state with any
+other unit.  That is exactly the property the determinism tests pin
+down, and it is what makes process-level parallelism safe here: a
+worker process cannot perturb a simulation it does not share memory
+with.
+
+All fan-out goes through the **persistent worker pool**
+(:mod:`repro.perf.pool`): one pool per process, created on first use,
+reused by every subsequent sweep, fed compact ``(kind, shared, seeds)``
+specs in contiguous chunks.  See that module for the lifecycle and the
+determinism argument.
 
 Determinism contract (tested in ``tests/test_perf.py``):
 
 * results come back in **input order** regardless of completion order
-  (``ProcessPoolExecutor.map`` preserves ordering), and
+  (chunk results are concatenated in submission order), and
 * every result object is **equal** to the one a serial run produces —
   same commits, same aborts, same fault counts, same violations, same
   ``events_fired``.
@@ -23,13 +30,16 @@ module-level.  Only the standard library is used; no extra dependency.
 
 from __future__ import annotations
 
+import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.perf.pool import run_chunked
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chaos.faults import FaultPlan
     from repro.chaos.runner import ChaosSweepReport
+    from repro.soak.engine import SoakConfig
 
 
 def default_jobs() -> int:
@@ -42,31 +52,15 @@ def parallel_map(
     items: Iterable[Any],
     jobs: Optional[int] = None,
 ) -> list[Any]:
-    """``[fn(x) for x in items]`` across worker processes, in input order.
+    """``[fn(x) for x in items]`` across the worker pool, in input order.
 
     ``jobs=None`` or ``jobs<=1`` runs serially in-process (no pool, no
     pickling) — the degenerate case costs nothing extra, so callers can
     thread a ``jobs`` parameter through unconditionally.  ``fn`` must be
-    picklable (module-level), and so must every item and result.
+    picklable (module-level), and so must every item and result; ``fn``
+    crosses the pipe once per chunk, not once per item.
     """
-    work = list(items)
-    if jobs is None or jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    workers = min(jobs, len(work))
-    # chunksize=1: sweep units are coarse (whole simulations), so fair
-    # scheduling beats batching.  map() yields results in input order.
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, work, chunksize=1))
-
-
-def _chaos_seed_task(task: tuple) -> Any:
-    """One sweep unit, run inside a worker process."""
-    from repro.chaos.runner import run_chaos_seed
-
-    seed, sites, db_size, txns, plan, mutate = task
-    return run_chaos_seed(
-        seed, sites=sites, db_size=db_size, txns=txns, plan=plan, mutate=mutate
-    )
+    return run_chunked("call", fn, items, jobs=jobs)
 
 
 def run_parallel_seed_sweep(
@@ -79,11 +73,11 @@ def run_parallel_seed_sweep(
     mutate: bool = False,
     jobs: Optional[int] = None,
 ) -> "ChaosSweepReport":
-    """A chaos seed sweep fanned across worker processes.
+    """A chaos seed sweep fanned across the persistent worker pool.
 
     Produces a report equal to ``run_seed_sweep(seeds, ...)`` — same
     results, same order — in roughly ``1/jobs`` the wall-clock time for
-    sweeps long enough to amortize worker startup.  Callers normally go
+    sweeps long enough to amortize dispatch.  Callers normally go
     through :func:`repro.chaos.runner.run_seed_sweep` with ``jobs=N``
     (or ``repro chaos --jobs N``) rather than calling this directly.
     """
@@ -94,7 +88,36 @@ def run_parallel_seed_sweep(
         plan = FaultPlan()
     if jobs is None:
         jobs = default_jobs()
-    tasks = [(seed, sites, db_size, txns, plan, mutate) for seed in seeds]
+    shared = (sites, db_size, txns, plan, mutate)
     report = ChaosSweepReport(plan=plan, mutated=mutate)
-    report.results.extend(parallel_map(_chaos_seed_task, tasks, jobs=jobs))
+    report.results.extend(run_chunked("chaos-seed", shared, seeds, jobs=jobs))
     return report
+
+
+def run_parallel_soak_sweep(
+    seeds: Iterable[int],
+    config: Optional["SoakConfig"] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> list[dict]:
+    """One soak report dict per seed, fanned across the worker pool.
+
+    ``config`` supplies every knob except the seed; what crosses the
+    pipe is only the *delta* from a default :class:`SoakConfig` (the
+    compact-spec rule), so a sweep of 32 seeds ships one small dict per
+    chunk.  Results are report dicts (``repro.soak.report.build_report``)
+    in seed order, equal to what a serial loop produces.
+    """
+    from repro.soak.engine import SoakConfig
+
+    if config is None:
+        config = SoakConfig()
+    defaults = SoakConfig()
+    delta = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(SoakConfig)
+        if f.name != "seed" and getattr(config, f.name) != getattr(defaults, f.name)
+    }
+    if jobs is None:
+        jobs = default_jobs()
+    return run_chunked("soak-report", delta, seeds, jobs=jobs)

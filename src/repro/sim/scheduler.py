@@ -21,6 +21,16 @@ docs/PERFORMANCE.md):
   and compacts the heap in place once cancelled entries outnumber live
   ones — timer-heavy workloads (retransmission backoff) would otherwise
   accumulate unbounded dead entries.
+* **Batched same-instant dispatch**: while :meth:`run` is draining, any
+  entry scheduled for the instant being processed (a zero-delay post, or
+  a ``post_at`` of the current time — zero-latency deliveries and
+  activation hand-offs are ~half of all events in the concurrent preset)
+  goes to a FIFO *now-queue* instead of the heap, and is fired without
+  ever paying a ``heappush``/``heappop``.  Ordering is preserved because
+  every heap entry due at the current instant necessarily carries a
+  smaller sequence number than every now-queue entry (it was scheduled
+  before the instant began), so draining "heap entries due now, then the
+  now-queue in FIFO order" is exactly ``(time, seq)`` order.
 
 Tie-break contract (a public guarantee)
 ---------------------------------------
@@ -45,6 +55,7 @@ existing seed replays identically.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import SchedulerError
@@ -69,6 +80,14 @@ class EventScheduler:
         # Entries: (time, seq, action, args) for fire-and-forget posts,
         # (time, seq, None, event) for cancellable events.
         self._heap: list[tuple[float, int, Optional[Callable[..., None]], Any]] = []
+        # Same-instant fast lane (see the module docstring).  Only
+        # populated while the hot loop is draining (``_batching``); the
+        # loop's ``finally`` flushes any leftovers back into the heap, so
+        # outside :meth:`run` the queue is always empty and every other
+        # method (``step``, ``run_until``, fingerprinting) sees the whole
+        # schedule in ``_heap``.
+        self._nowq: deque[tuple[float, int, Optional[Callable[..., None]], Any]] = deque()
+        self._batching = False
         self._seq = 0
         self._fired = 0
         self._cancelled = 0
@@ -91,7 +110,7 @@ class EventScheduler:
     @property
     def pending(self) -> int:
         """Number of *live* events still queued (cancelled ones excluded)."""
-        return len(self._heap) - self._cancelled
+        return len(self._heap) + len(self._nowq) - self._cancelled
 
     @property
     def fired(self) -> int:
@@ -116,7 +135,10 @@ class EventScheduler:
             raise SchedulerError(f"cannot schedule in the past: delay={delay}")
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (self.clock._now + delay, seq, action, args))
+        if delay == 0.0 and self._batching:
+            self._nowq.append((self.clock._now, seq, action, args))
+        else:
+            heapq.heappush(self._heap, (self.clock._now + delay, seq, action, args))
 
     def post_at(
         self,
@@ -125,13 +147,17 @@ class EventScheduler:
         args: tuple[Any, ...] = (),
     ) -> None:
         """Schedule ``action(*args)`` at an absolute simulated time."""
-        if time < self.clock._now:
+        now = self.clock._now
+        if time < now:
             raise SchedulerError(
-                f"cannot schedule at {time}, now is {self.clock._now}"
+                f"cannot schedule at {time}, now is {now}"
             )
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._heap, (time, seq, action, args))
+        if time == now and self._batching:
+            self._nowq.append((time, seq, action, args))
+        else:
+            heapq.heappush(self._heap, (time, seq, action, args))
 
     def schedule(
         self,
@@ -156,7 +182,10 @@ class EventScheduler:
             label=label,
             scheduler=self,
         )
-        heapq.heappush(self._heap, (event.time, seq, _CANCELLABLE, event))
+        if delay == 0.0 and self._batching:
+            self._nowq.append((event.time, seq, _CANCELLABLE, event))
+        else:
+            heapq.heappush(self._heap, (event.time, seq, _CANCELLABLE, event))
         return event
 
     def schedule_at(
@@ -176,7 +205,10 @@ class EventScheduler:
         event = Event(
             time=time, seq=seq, action=action, args=args, label=label, scheduler=self
         )
-        heapq.heappush(self._heap, (time, seq, _CANCELLABLE, event))
+        if time == self.clock._now and self._batching:
+            self._nowq.append((time, seq, _CANCELLABLE, event))
+        else:
+            heapq.heappush(self._heap, (time, seq, _CANCELLABLE, event))
         return event
 
     # -- cancellation bookkeeping -------------------------------------------
@@ -209,6 +241,18 @@ class EventScheduler:
             if entry[2] is not _CANCELLABLE or not entry[3].cancelled
         ]
         heapq.heapify(heap)
+        if self._nowq:
+            # Cancelled entries can sit in the now-queue too (a handler
+            # cancelling a timer it scheduled this instant).  Mutated in
+            # place, like the heap, so the run loop's local binding stays
+            # valid; the FIFO order of survivors is preserved.
+            live = [
+                entry
+                for entry in self._nowq
+                if entry[2] is not _CANCELLABLE or not entry[3].cancelled
+            ]
+            self._nowq.clear()
+            self._nowq.extend(live)
         self._cancelled = 0
         self.compactions += 1
 
@@ -243,16 +287,33 @@ class EventScheduler:
         if self.tie_breaker is not None:
             return self._run_choosing(max_events)
         self._running = True
+        self._batching = True
         # The hot loop: locals for everything, no step()/fire() dispatch.
-        # Handlers push into the same heap list; _compact mutates it in
-        # place, so the local binding stays correct.
+        # Handlers push into the same heap list and now-queue; _compact
+        # mutates both in place, so the local bindings stay correct.
         heap = self._heap
+        nowq = self._nowq
         heappop = heapq.heappop
+        popleft = nowq.popleft
         clock = self.clock
         fired = 0
         try:
-            while heap:
-                time, _seq, action, payload = heappop(heap)
+            while True:
+                # Same-instant batch drain.  Every heap entry due at the
+                # current instant was scheduled before the instant began
+                # and therefore precedes (seq-wise) every now-queue entry,
+                # so "heap entries due now first, then the now-queue FIFO"
+                # is exactly (time, seq) order.  The clock never advances
+                # while the now-queue is non-empty.
+                if nowq:
+                    if heap and heap[0][0] <= clock._now:
+                        time, _seq, action, payload = heappop(heap)
+                    else:
+                        time, _seq, action, payload = popleft()
+                elif heap:
+                    time, _seq, action, payload = heappop(heap)
+                else:
+                    break
                 if action is _CANCELLABLE:
                     if payload.cancelled:
                         self._cancelled -= 1
@@ -268,6 +329,13 @@ class EventScheduler:
                         f"exceeded {max_events} events; runaway simulation?"
                     )
         finally:
+            self._batching = False
+            # An abnormal exit (runaway guard, handler exception) can
+            # leave same-instant entries in the now-queue; flush them back
+            # into the heap with their original keys so the schedule stays
+            # whole for whoever resumes (step, run_until, a second run).
+            while nowq:
+                heapq.heappush(heap, popleft())
             self._fired += fired
             self._running = False
         return fired

@@ -42,6 +42,8 @@ class _Parked:
 class SiteLockService:
     """Strict 2PL over one site's copies, with parked continuations."""
 
+    __slots__ = ("site", "manager", "detector", "_parked", "parks")
+
     def __init__(self, site: "DatabaseSite") -> None:
         self.site = site
         self.manager = LockManager()

@@ -42,11 +42,13 @@ from repro.txn.transaction import AbortReason
 from repro.workload.base import WorkloadGenerator
 from repro.workload.shapes import (
     ConstantShape,
+    DebitCreditWorkload,
     DiurnalShape,
     FlashCrowdShape,
     HotKeyStormWorkload,
     LoadShape,
     RampShape,
+    WisconsinMixWorkload,
     next_arrival_ms,
 )
 from repro.workload.uniform import UniformWorkload
@@ -68,10 +70,13 @@ class SoakConfig:
     shape: str = "constant"
     peak_tps: Optional[float] = None
     period_ms: float = 20_000.0
-    # Item popularity: uniform | zipf | storm.
+    # Item popularity / op mix:
+    # uniform | zipf | storm | debitcredit | wisconsin.
     workload: str = "zipf"
     skew: float = 0.8
     storm_every_ms: float = 10_000.0
+    # Wisconsin mix only: fraction of transactions that are read scans.
+    read_fraction: float = 0.7
     # Cluster dimensions (mirrors the open-loop defaults used in perf runs).
     num_sites: int = 4
     db_size: int = 128
@@ -124,6 +129,13 @@ class SoakConfig:
             return HotKeyStormWorkload(
                 system.item_ids, self.max_txn_size, skew=self.skew,
                 storm_every_ms=self.storm_every_ms,
+            )
+        if self.workload == "debitcredit":
+            return DebitCreditWorkload(system.item_ids)
+        if self.workload == "wisconsin":
+            return WisconsinMixWorkload(
+                system.item_ids, self.max_txn_size,
+                read_fraction=self.read_fraction,
             )
         raise ConfigurationError(f"unknown workload kind: {self.workload!r}")
 

@@ -16,11 +16,20 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.net.endpoint import HandlerContext
-from repro.txn.deadlock import WaitsForGraph
+from repro.txn.deadlock import WaitsForGraph, find_cycle_in
 
 
 class GlobalDeadlockDetector:
     """Cluster-wide waits-for bookkeeping plus victim-abort dispatch."""
+
+    __slots__ = (
+        "_waits",
+        "_union",
+        "_abort_fns",
+        "_dirty",
+        "deadlocks_found",
+        "victims",
+    )
 
     def __init__(self) -> None:
         # waiter -> site -> blockers at that site.
@@ -102,31 +111,77 @@ class GlobalDeadlockDetector:
     def _detect(self, ctx: HandlerContext, waiter: int) -> None:
         # Cheap existence test first; only a genuine cycle pays for the
         # deterministic full-graph DFS whose traversal order fixes which
-        # cycle is reported and which victim dies.
+        # cycle is reported and which victim dies.  The DFS runs directly
+        # over the incrementally-maintained union adjacency — detection
+        # never materializes a graph object.
         edges = self._union
-        if self._dirty:
-            if self._is_acyclic(edges):
+        was_dirty = self._dirty
+        if was_dirty:
+            # Existence first, order-sensitive traversal only on a hit:
+            # whether a cycle exists is traversal-order independent, so
+            # the boolean check can skip the sorted() calls that make
+            # ``find_cycle_in`` deterministic.  Only a genuine cycle pays
+            # for the deterministic DFS that fixes which cycle is
+            # reported and which victim dies.
+            if not self._has_cycle(edges):
                 self._dirty = False
                 return
-        elif not self._reaches(edges, waiter):
-            # The graph was acyclic before this block(), so any new cycle
-            # passes through ``waiter``; none does.
-            return
-        graph = WaitsForGraph()
-        for node, blockers in edges.items():
-            graph.add_waits(node, tuple(blockers))
-        cycle = graph.find_cycle()
-        if not cycle:
-            return
+            cycle = find_cycle_in(edges)
+        else:
+            if not self._reaches(edges, waiter):
+                # The graph was acyclic before this block(), so any new
+                # cycle passes through ``waiter``; none does.
+                return
+            cycle = find_cycle_in(edges)
+            if not cycle:
+                return
         self.deadlocks_found += 1
-        victim = graph.choose_victim(cycle)
+        victim = WaitsForGraph.choose_victim(cycle)
         self.victims.append(victim)
         abort_fn = self._abort_fns.get(victim)
         self.forget(victim)
         # Breaking one cycle may leave another; rescan globally next time.
-        self._dirty = True
+        # Exception: on the clean path every cycle ran through ``waiter``
+        # (the graph was acyclic before this block), so aborting the
+        # waiter itself severs all of them — no rescan needed.  Victims
+        # are the youngest txn in the cycle and the latest blocker is
+        # often exactly that, so this skips most global scans.
+        self._dirty = was_dirty or victim != waiter
         if abort_fn is not None:
             abort_fn(ctx)
+
+    @staticmethod
+    def _has_cycle(edges: dict[int, set[int]]) -> bool:
+        """Whether any cycle exists (pure existence check — traversal
+        order never leaks into the result, so no sorting is needed)."""
+        GREY, BLACK = 1, 2
+        colour: dict[int, int] = {}
+        colour_get = colour.get
+        edges_get = edges.get
+        for start in edges:
+            if start in colour:
+                continue
+            colour[start] = GREY
+            stack = [(start, iter(edges[start]))]
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for nxt in successors:
+                    seen = colour_get(nxt)
+                    if seen == GREY:
+                        return True
+                    if seen is None:
+                        out = edges_get(nxt)
+                        if out:
+                            colour[nxt] = GREY
+                            stack.append((nxt, iter(out)))
+                            advanced = True
+                            break
+                        colour[nxt] = BLACK
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return False
 
     @staticmethod
     def _reaches(edges: dict[int, set[int]], waiter: int) -> bool:
@@ -145,27 +200,6 @@ class GlobalDeadlockDetector:
             if nxt:
                 stack.extend(nxt)
         return False
-
-    @staticmethod
-    def _is_acyclic(edges: dict[int, set[int]]) -> bool:
-        """Kahn's algorithm over the union graph."""
-        indeg: dict[int, int] = dict.fromkeys(edges, 0)
-        for blockers in edges.values():
-            for b in blockers:
-                if b in indeg:
-                    indeg[b] += 1
-                else:
-                    indeg[b] = 1
-        ready = [n for n, d in indeg.items() if d == 0]
-        remaining = len(indeg)
-        while ready:
-            node = ready.pop()
-            remaining -= 1
-            for b in edges.get(node, ()):
-                indeg[b] -= 1
-                if indeg[b] == 0:
-                    ready.append(b)
-        return remaining == 0
 
     def __repr__(self) -> str:
         return (

@@ -9,9 +9,72 @@ from __future__ import annotations
 
 from repro.errors import LockError
 
+__all__ = ["WaitsForGraph", "find_cycle_in"]
+
+
+def find_cycle_in(edges: "dict[int, set[int] | tuple[int, ...]]") -> list[int]:
+    """A deadlock cycle in a waits-for mapping, or ``[]`` if none.
+
+    The detection primitive shared by :class:`WaitsForGraph` and the
+    global detector's union graph (:mod:`repro.system.deadlock`), which
+    calls it directly on its incrementally-maintained adjacency so the
+    hot path never materializes a graph object.
+
+    Iterative DFS with colouring; deterministic (start nodes and each
+    node's successors are visited in sorted order) so victim selection is
+    reproducible.  Nodes with no outgoing edges can never lie on a cycle
+    and are never used as DFS roots, which does not change which cycle is
+    found: a root with no successors discovers nothing.
+    """
+    GREY, BLACK = 1, 2
+    # Unvisited nodes are simply absent (the classic WHITE colour).
+    colour: dict[int, int] = {}
+    parent: dict[int, int] = {}
+    colour_get = colour.get
+    edges_get = edges.get
+    for start in sorted(edges):
+        if start in colour:
+            continue
+        colour[start] = GREY
+        # Stack frames: [node, sorted successor list, next index] —
+        # mutable so resuming a frame costs no tuple rebuild.
+        stack: list[list] = [[start, sorted(edges[start]), 0]]
+        while stack:
+            frame = stack[-1]
+            node, successors, index = frame
+            advanced = False
+            while index < len(successors):
+                nxt = successors[index]
+                index += 1
+                seen = colour_get(nxt)
+                if seen == GREY:
+                    # Found a back edge: unwind the cycle.
+                    cycle = [nxt]
+                    current = node
+                    while current != nxt:
+                        cycle.append(current)
+                        current = parent[current]
+                    cycle.reverse()
+                    return cycle
+                if seen is None:
+                    colour[nxt] = GREY
+                    parent[nxt] = node
+                    frame[2] = index
+                    out = edges_get(nxt)
+                    stack.append([nxt, sorted(out) if out else [], 0])
+                    advanced = True
+                    break
+            if not advanced:
+                frame[2] = index
+                colour[node] = BLACK
+                stack.pop()
+    return []
+
 
 class WaitsForGraph:
     """Directed graph: edge ``a -> b`` means txn ``a`` waits for txn ``b``."""
+
+    __slots__ = ("_edges",)
 
     def __init__(self) -> None:
         self._edges: dict[int, set[int]] = {}
@@ -42,47 +105,11 @@ class WaitsForGraph:
     def find_cycle(self) -> list[int]:
         """A deadlock cycle as a list of txn ids, or [] if none.
 
-        Iterative DFS with colouring; deterministic (nodes and edges are
-        visited in sorted order) so victim selection is reproducible.
+        Delegates to :func:`find_cycle_in` (deterministic sorted-order
+        DFS) so this graph and the global detector's union graph share
+        one detection primitive.
         """
-        WHITE, GREY, BLACK = 0, 1, 2
-        colour = {node: WHITE for node in self._edges}
-        for targets in self._edges.values():
-            for node in targets:
-                colour.setdefault(node, WHITE)
-
-        parent: dict[int, int] = {}
-        for start in sorted(colour):
-            if colour[start] != WHITE:
-                continue
-            stack: list[tuple[int, list[int]]] = [
-                (start, sorted(self._edges.get(start, ())))
-            ]
-            colour[start] = GREY
-            while stack:
-                node, successors = stack[-1]
-                advanced = False
-                while successors:
-                    nxt = successors.pop(0)
-                    if colour.get(nxt, WHITE) == GREY:
-                        # Found a back edge: unwind the cycle.
-                        cycle = [nxt]
-                        current = node
-                        while current != nxt:
-                            cycle.append(current)
-                            current = parent[current]
-                        cycle.reverse()
-                        return cycle
-                    if colour.get(nxt, WHITE) == WHITE:
-                        colour[nxt] = GREY
-                        parent[nxt] = node
-                        stack.append((nxt, sorted(self._edges.get(nxt, ()))))
-                        advanced = True
-                        break
-                if not advanced and stack and stack[-1][0] == node and not successors:
-                    colour[node] = BLACK
-                    stack.pop()
-        return []
+        return find_cycle_in(self._edges)
 
     @staticmethod
     def choose_victim(cycle: list[int]) -> int:

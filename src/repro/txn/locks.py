@@ -47,8 +47,15 @@ class LockGrant:
     waiting_for: tuple[int, ...] = ()
 
 
+# Grants carry no per-request state, and LockGrant is frozen, so every
+# successful request can share one instance instead of allocating.
+_GRANTED = LockGrant(granted=True)
+
+
 class LockManager:
     """Item-granularity S/X lock table for one site."""
+
+    __slots__ = ("_table", "_touched", "grants", "waits")
 
     def __init__(self) -> None:
         self._table: dict[int, _LockEntry] = {}
@@ -60,17 +67,22 @@ class LockManager:
         self.waits = 0
 
     def _entry(self, item_id: int) -> _LockEntry:
-        if item_id not in self._table:
-            self._table[item_id] = _LockEntry()
-        return self._table[item_id]
+        entry = self._table.get(item_id)
+        if entry is None:
+            entry = self._table[item_id] = _LockEntry()
+        return entry
 
     def holders_of(self, item_id: int) -> dict[int, LockMode]:
         """Current holders of ``item_id`` (copy)."""
-        return dict(self._table.get(item_id, _LockEntry()).holders)
+        entry = self._table.get(item_id)
+        return dict(entry.holders) if entry is not None else {}
 
     def waiters_of(self, item_id: int) -> list[int]:
         """Queued transactions on ``item_id``, FIFO order."""
-        return [txn for txn, _mode in self._table.get(item_id, _LockEntry()).queue]
+        entry = self._table.get(item_id)
+        if entry is None:
+            return []
+        return [txn for txn, _mode in entry.queue]
 
     def signature(self) -> tuple:
         """Hashable snapshot of every non-empty entry (``repro.check``).
@@ -96,30 +108,35 @@ class LockManager:
         returns the holder set it waits for (feeding the waits-for graph).
         """
         entry = self._entry(item_id)
-        held = entry.holders.get(txn_id)
+        holders = entry.holders
+        held = holders.get(txn_id)
+        SHARED = LockMode.SHARED
         if held is mode or held is LockMode.EXCLUSIVE:
-            return LockGrant(granted=True)
-        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
-            if len(entry.holders) == 1:
-                entry.holders[txn_id] = LockMode.EXCLUSIVE
+            return _GRANTED
+        if held is SHARED and mode is LockMode.EXCLUSIVE:
+            if len(holders) == 1:
+                holders[txn_id] = LockMode.EXCLUSIVE
                 self.grants += 1
-                return LockGrant(granted=True)
-            blockers = tuple(t for t in entry.holders if t != txn_id)
+                return _GRANTED
+            blockers = tuple(t for t in holders if t != txn_id)
             entry.queue.append((txn_id, mode))
             self.waits += 1
             return LockGrant(granted=False, waiting_for=blockers)
         # Fresh request: grant if compatible with every holder and nobody
-        # is already queued (queue-jumping would starve writers).
+        # is already queued (queue-jumping would starve writers).  The
+        # S/X matrix reduces to identity checks: only S+S coexist.
         touched = self._touched.get(txn_id)
         if touched is None:
             touched = self._touched[txn_id] = set()
         touched.add(item_id)
-        compatible = all(mode.compatible_with(m) for m in entry.holders.values())
-        if compatible and not entry.queue:
-            entry.holders[txn_id] = mode
+        if not entry.queue and (
+            not holders
+            or (mode is SHARED and all(m is SHARED for m in holders.values()))
+        ):
+            holders[txn_id] = mode
             self.grants += 1
-            return LockGrant(granted=True)
-        blockers = tuple(entry.holders) + tuple(t for t, _m in entry.queue)
+            return _GRANTED
+        blockers = tuple(holders) + tuple(t for t, _m in entry.queue)
         entry.queue.append((txn_id, mode))
         self.waits += 1
         return LockGrant(granted=False, waiting_for=blockers)
@@ -152,18 +169,22 @@ class LockManager:
     def _promote(self, entry: _LockEntry) -> list[int]:
         """Grant queued requests now compatible, in FIFO order."""
         newly: list[int] = []
+        SHARED = LockMode.SHARED
+        holders = entry.holders
         while entry.queue:
             txn_id, mode = entry.queue[0]
-            held = entry.holders.get(txn_id)
-            if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            held = holders.get(txn_id)
+            if held is SHARED and mode is LockMode.EXCLUSIVE:
                 # Upgrade waits for sole ownership.
-                if len(entry.holders) != 1:
+                if len(holders) != 1:
                     break
-                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                holders[txn_id] = LockMode.EXCLUSIVE
             else:
-                if not all(mode.compatible_with(m) for m in entry.holders.values()):
+                if holders and not (
+                    mode is SHARED and all(m is SHARED for m in holders.values())
+                ):
                     break
-                entry.holders[txn_id] = mode
+                holders[txn_id] = mode
             entry.queue.pop(0)
             self.grants += 1
             newly.append(txn_id)

@@ -21,11 +21,13 @@ from repro.workload.et1 import Et1Workload
 from repro.workload.wisconsin import WisconsinWorkload
 from repro.workload.shapes import (
     ConstantShape,
+    DebitCreditWorkload,
     DiurnalShape,
     FlashCrowdShape,
     HotKeyStormWorkload,
     LoadShape,
     RampShape,
+    WisconsinMixWorkload,
     next_arrival_ms,
 )
 
@@ -38,6 +40,8 @@ __all__ = [
     "ZipfHotSetWorkload",
     "Et1Workload",
     "WisconsinWorkload",
+    "DebitCreditWorkload",
+    "WisconsinMixWorkload",
     "LoadShape",
     "ConstantShape",
     "RampShape",

@@ -23,6 +23,7 @@ from repro.errors import WorkloadError
 from repro.sim.rng import RandomStream
 from repro.txn.operations import OpKind, Operation
 from repro.workload.base import WorkloadGenerator
+from repro.workload.wisconsin import WisconsinWorkload
 from repro.workload.zipf import ZipfGenerator
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "FlashCrowdShape",
     "next_arrival_ms",
     "HotKeyStormWorkload",
+    "DebitCreditWorkload",
+    "WisconsinMixWorkload",
 ]
 
 
@@ -261,4 +264,84 @@ class HotKeyStormWorkload(WorkloadGenerator):
         return (
             f"hotkey-storm(n={len(self.items)}, skew={self.zipf.skew}, "
             f"storm_every={self.storm_every_ms:g} ms)"
+        )
+
+
+class DebitCreditWorkload(WorkloadGenerator):
+    """The DebitCredit (TP1) update mix over a generic item space.
+
+    The canonical early-80s OLTP benchmark, contemporaneous with the
+    paper: every transaction debits one account and posts the delta to
+    the account's teller and branch.  Unlike :class:`repro.workload.et1
+    .Et1Workload` — which draws its four regions independently — this
+    preset keeps the TP1 *hierarchy*: the item space is partitioned by
+    position (roughly 1 branch and 10 tellers per 100 accounts, floored
+    at one each) and account→teller→branch assignment is a pure function
+    of the account index.  A transaction is exactly one uniform account
+    draw followed by three writes, and the branch rows form a tiny
+    always-written hot set: the classic lock-convoy contention shape,
+    which independent draws dilute.
+
+    One RNG draw per transaction, independent of submission time, which
+    keeps seed determinism trivial to audit.
+    """
+
+    def __init__(self, items: list[int]) -> None:
+        if len(items) < 3:
+            raise WorkloadError(
+                f"debitcredit needs >= 3 items (branch/teller/account): "
+                f"{len(items)}"
+            )
+        self.items = list(items)
+        total = len(self.items)
+        self.branches = max(1, total // 100)
+        self.tellers = max(1, total // 10 - self.branches)
+        self.accounts = total - self.branches - self.tellers
+
+    def generate(self, txn_seq: int, rng: RandomStream) -> list[Operation]:
+        account_index = rng.randint(0, self.accounts - 1)
+        teller_index = account_index % self.tellers
+        branch_index = teller_index % self.branches
+        account = self.items[self.branches + self.tellers + account_index]
+        teller = self.items[self.branches + teller_index]
+        branch = self.items[branch_index]
+        # The three partitions occupy disjoint index ranges, so the items
+        # are always distinct — three writes, never a double-lock.
+        return [
+            Operation(kind=OpKind.WRITE, item_id=account),
+            Operation(kind=OpKind.WRITE, item_id=teller),
+            Operation(kind=OpKind.WRITE, item_id=branch),
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"debitcredit(branches={self.branches}, tellers={self.tellers}, "
+            f"accounts={self.accounts})"
+        )
+
+
+class WisconsinMixWorkload(WisconsinWorkload):
+    """Soak-selectable preset of the Wisconsin read/write mix.
+
+    A thin configuration of :class:`repro.workload.wisconsin
+    .WisconsinWorkload` in soak terms: scans are sized to the soak run's
+    ``max_txn_size`` cap, updates touch a single tuple (the Wisconsin
+    update queries are point updates), and ``read_fraction`` is the
+    probability a transaction is a scan.  Scans create shared-lock
+    pressure across contiguous item ranges while the scattered point
+    updates provide the write conflicts — the complementary shape to
+    DebitCredit's hot-spot writes.
+    """
+
+    def __init__(
+        self,
+        items: list[int],
+        max_txn_size: int,
+        read_fraction: float = 0.7,
+    ) -> None:
+        super().__init__(
+            list(items),
+            scan_length=min(max_txn_size, len(items)),
+            update_count=1,
+            scan_fraction=read_fraction,
         )

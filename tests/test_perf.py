@@ -1,24 +1,40 @@
-"""repro.perf: parallel executor determinism + the benchmark harness.
+"""repro.perf: the persistent pool, parallel determinism, and the bench.
 
 The load-bearing property is the first test: a parallel sweep is *equal*
 to a serial one — full dataclass equality over every per-seed result,
-not a statistical resemblance.  Everything else (bench schema, the CI
-regression gate, CLI wiring) rides on top of that.
+not a statistical resemblance — and it holds through the *persistent*
+worker pool, across pool reuse, for every sweep kind (chaos, lossy-core,
+soak) and for parallel ``repro.check`` frontier expansion.  Everything
+else (bench schema, the CI regression gates, CLI wiring) rides on top.
 """
 
+import dataclasses
 import json
+import os
+
+import pytest
 
 from repro.chaos import FaultPlan, run_seed_sweep
+from repro.check.explorer import explore_parallel
+from repro.check.runner import CheckConfig
 from repro.cli import main
+from repro.soak.engine import SoakConfig, run_soak
+from repro.soak.report import build_report
 from repro.perf.bench import (
     BENCH_SCHEMA,
+    check_parallel_floor,
     check_regression,
     run_simcore_bench,
     run_sweep_bench,
     validate_simcore_doc,
     validate_sweep_doc,
 )
-from repro.perf.parallel import parallel_map, run_parallel_seed_sweep
+from repro.perf.parallel import (
+    parallel_map,
+    run_parallel_seed_sweep,
+    run_parallel_soak_sweep,
+)
+from repro.perf.pool import WorkerPoolError, pool_stats, shutdown_pool
 
 
 # -- parallel executor -------------------------------------------------------
@@ -58,6 +74,57 @@ def test_run_parallel_seed_sweep_direct():
     assert not report.mutated
 
 
+# -- persistent worker pool --------------------------------------------------
+
+
+def _kill_worker(_item):
+    os._exit(1)  # simulate a hard worker death (segfault/OOM-kill class)
+
+
+def test_pool_reused_across_sweeps():
+    shutdown_pool()
+    run_seed_sweep(range(42, 44), txns=10, jobs=2)
+    before = pool_stats()
+    run_seed_sweep(range(50, 52), txns=10, jobs=2)
+    after = pool_stats()
+    assert before["alive"] and after["alive"]
+    # Second sweep dispatched more chunks through the *same* pool: no
+    # re-fork, no re-import — the whole point of keeping it persistent.
+    assert after["pools_created"] == before["pools_created"]
+    assert after["chunks_dispatched"] > before["chunks_dispatched"]
+
+
+def test_soak_sweep_parallel_matches_serial():
+    config = SoakConfig(txns=300, rate_tps=40.0)
+    serial = [
+        build_report(run_soak(dataclasses.replace(config, seed=seed)))
+        for seed in (3, 4)
+    ]
+    parallel = run_parallel_soak_sweep([3, 4], config, jobs=2)
+    assert parallel == serial
+
+
+def test_worker_crash_surfaces_clear_error():
+    with pytest.raises(WorkerPoolError) as excinfo:
+        parallel_map(_kill_worker, range(4), jobs=2)
+    assert "call" in str(excinfo.value)
+    # The broken pool was torn down, so the next dispatch transparently
+    # builds a fresh one instead of failing forever.
+    assert parallel_map(str, range(4), jobs=2) == ["0", "1", "2", "3"]
+
+
+def test_explore_parallel_deterministic_merge():
+    config = CheckConfig(sites=2, db_size=4, txns=2, max_branch=2)
+    first = explore_parallel(config, max_runs=12, max_depth=12, jobs=2)
+    second = explore_parallel(config, max_runs=12, max_depth=12, jobs=2)
+    # Merged fingerprint set, stats, and counterexample are a pure
+    # function of (config, budgets, jobs) — worker timing must not leak.
+    assert first.fingerprints == second.fingerprints
+    assert first.fingerprints
+    assert first.counterexample == second.counterexample
+    assert first.stats == second.stats
+
+
 # -- benchmark harness -------------------------------------------------------
 
 
@@ -74,6 +141,20 @@ def test_sweep_bench_schema_and_determinism():
     assert validate_sweep_doc(doc) == []
     assert doc["identical"] is True
     assert doc["jobs"] == 2
+    # Warm vs cold: the headline wall is the warm-pool one; the cold wall
+    # (pool creation charged) rides along as an additive field.
+    assert doc["parallel_wall_s"] == doc["parallel_warm_wall_s"]
+    assert doc["parallel_cold_wall_s"] > 0
+    assert doc["cold_speedup"] > 0
+    assert doc["cpus"] >= 1
+    # Additive fields are validated when present...
+    bad = dict(doc)
+    bad["parallel_cold_wall_s"] = -1.0
+    assert any("parallel_cold_wall_s" in p for p in validate_sweep_doc(bad))
+    # ...but an older artifact without them still reads clean.
+    old = {k: v for k, v in doc.items() if "cold" not in k and "warm" not in k}
+    del old["cpus"]
+    assert validate_sweep_doc(old) == []
 
 
 def _simcore_doc(events_per_sec):
@@ -137,6 +218,28 @@ def test_validate_sweep_rejects_divergence():
     doc = run_sweep_bench(quick=True, jobs=2)
     doc["identical"] = False
     assert any("diverged" in p for p in validate_sweep_doc(doc))
+
+
+def _sweep_doc(speedup, jobs=2, cpus=2):
+    return {"jobs": jobs, "cpus": cpus, "speedup": speedup}
+
+
+def test_parallel_floor_gated_on_hardware():
+    committed = _sweep_doc(1.5)
+    # One core, or a serial run: a >1x speedup is physically impossible,
+    # so the gate must report nothing rather than fail unconditionally.
+    assert check_parallel_floor(committed, _sweep_doc(0.9, cpus=1)) == []
+    assert check_parallel_floor(committed, _sweep_doc(0.9, jobs=1)) == []
+
+
+def test_parallel_floor_names_numbers():
+    committed = _sweep_doc(1.61)
+    problems = check_parallel_floor(committed, _sweep_doc(0.95))
+    assert len(problems) == 1
+    assert "0.95x" in problems[0]   # fresh speedup
+    assert "1.2x" in problems[0]    # the floor
+    assert "1.61x" in problems[0]   # committed speedup, for contrast
+    assert check_parallel_floor(committed, _sweep_doc(1.4)) == []
 
 
 # -- experiment replication fan-out ------------------------------------------

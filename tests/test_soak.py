@@ -128,6 +128,27 @@ def test_config_validation_rejects_bad_knobs():
         SoakConfig(detection="oracle").system_config()
 
 
+def test_benchmark_mixes_are_soak_selectable():
+    from repro.workload.shapes import DebitCreditWorkload, WisconsinMixWorkload
+
+    cfg = SoakConfig(workload="debitcredit")
+    assert isinstance(cfg.build_workload(cfg.system_config()), DebitCreditWorkload)
+    cfg = SoakConfig(workload="wisconsin", read_fraction=0.4)
+    wisconsin = cfg.build_workload(cfg.system_config())
+    assert isinstance(wisconsin, WisconsinMixWorkload)
+    assert wisconsin.scan_fraction == 0.4
+
+
+@pytest.mark.parametrize("workload", ["debitcredit", "wisconsin"])
+def test_benchmark_mixes_deterministic(workload):
+    config = smoke_config(txns=300, workload=workload)
+    first = run_soak(config)
+    assert first.txns > 0
+    # Same seed, same config: the report (windows, exemplars, totals)
+    # must replay byte-for-byte.
+    assert build_report(run_soak(config)) == build_report(first)
+
+
 def test_effective_window_widens_for_long_runs():
     short = SoakConfig(txns=600, rate_tps=40.0)
     assert short.effective_window_ms() == short.window_ms

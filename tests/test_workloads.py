@@ -9,6 +9,7 @@ from repro.txn.operations import OpKind
 from repro.workload.et1 import Et1Workload
 from repro.workload.hotset import ZipfHotSetWorkload
 from repro.workload.readwrite import ReadWriteWorkload
+from repro.workload.shapes import DebitCreditWorkload, WisconsinMixWorkload
 from repro.workload.uniform import UniformWorkload
 from repro.workload.wisconsin import WisconsinWorkload
 
@@ -156,3 +157,68 @@ def test_describe_strings():
     assert "et1" in Et1Workload(ITEMS).describe()
     assert "wisconsin" in WisconsinWorkload(ITEMS).describe()
     assert "zipf" in ZipfHotSetWorkload(ITEMS, 5).describe()
+
+
+# -- soak-selectable benchmark mixes (shapes.py presets) ---------------------
+
+
+def _op_trace(wl, seed, n=100):
+    stream = random.Random(seed)
+    return [
+        [(op.kind, op.item_id) for op in wl.generate(seq, stream)]
+        for seq in range(n)
+    ]
+
+
+def test_debitcredit_partitions_and_shape(rng):
+    wl = DebitCreditWorkload(list(range(200)))
+    assert (wl.branches, wl.tellers, wl.accounts) == (2, 18, 180)
+    for seq in range(200):
+        ops = wl.generate(seq, rng)
+        assert len(ops) == 3
+        assert all(op.is_write for op in ops)
+        # Disjoint partitions: the three items are always distinct, and
+        # the branch write lands in the tiny hot set at the front.
+        assert len({op.item_id for op in ops}) == 3
+        assert ops[2].item_id < wl.branches
+
+
+def test_debitcredit_hierarchy_is_pure_function(rng):
+    # Same account ⇒ same teller and branch, across transactions.
+    wl = DebitCreditWorkload(list(range(200)))
+    seen = {}
+    for seq in range(300):
+        account, teller, branch = (op.item_id for op in wl.generate(seq, rng))
+        assert seen.setdefault(account, (teller, branch)) == (teller, branch)
+
+
+def test_debitcredit_determinism():
+    wl = DebitCreditWorkload(list(range(150)))
+    assert _op_trace(wl, seed=9) == _op_trace(wl, seed=9)
+    assert _op_trace(wl, seed=9) != _op_trace(wl, seed=10)
+
+
+def test_debitcredit_too_small_rejected():
+    with pytest.raises(WorkloadError):
+        DebitCreditWorkload([1, 2])
+
+
+def test_wisconsin_mix_preset_configuration(rng):
+    wl = WisconsinMixWorkload(ITEMS, max_txn_size=5, read_fraction=0.7)
+    assert wl.scan_length == 5
+    assert wl.update_count == 1
+    assert wl.scan_fraction == 0.7
+    kinds = {
+        "scan" if all(op.is_read for op in wl.generate(seq, rng)) else "update"
+        for seq in range(200)
+    }
+    assert kinds == {"scan", "update"}
+    # Scan length is capped by the item space, not just max_txn_size.
+    tiny = WisconsinMixWorkload(ITEMS[:3], max_txn_size=5)
+    assert tiny.scan_length == 3
+
+
+def test_wisconsin_mix_determinism():
+    wl = WisconsinMixWorkload(ITEMS, max_txn_size=5)
+    assert _op_trace(wl, seed=3) == _op_trace(wl, seed=3)
+    assert _op_trace(wl, seed=3) != _op_trace(wl, seed=4)
