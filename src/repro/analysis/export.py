@@ -72,6 +72,28 @@ def copier_records_csv(metrics: MetricsCollector) -> list[list[str]]:
     return rows
 
 
+def recovery_periods_csv(metrics: MetricsCollector) -> list[list[str]]:
+    """One row per recovery period (type-1 done -> last fail-lock clear).
+
+    ``elapsed`` is -1 for interrupted periods (the site failed again
+    before its recovery completed).
+    """
+    rows = [[
+        "site_id", "policy", "started_at", "finished_at", "elapsed",
+        "initial_stale", "copier_requests", "batch_copier_requests",
+        "refreshed_by_write", "refreshed_by_copier", "interrupted",
+    ]]
+    for r in metrics.recoveries:
+        rows.append([
+            str(r.site_id), r.policy,
+            f"{r.started_at:.3f}", f"{r.finished_at:.3f}", f"{r.elapsed:.3f}",
+            str(r.initial_stale), str(r.copier_requests),
+            str(r.batch_copier_requests), str(r.refreshed_by_write),
+            str(r.refreshed_by_copier), "1" if r.interrupted else "0",
+        ])
+    return rows
+
+
 def write_csv(rows: list[list[str]], path: str | Path) -> Path:
     """Write ``rows`` (header first) to ``path``; returns the path."""
     path = Path(path)

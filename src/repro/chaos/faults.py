@@ -138,6 +138,31 @@ class FaultPlan:
     force_crash: bool = True
     forced_hold_txns: int = 8
 
+    # -- recovery-window scenarios (repro.recovery presets) ----------------
+    # How many sites the forced crash fells in the same transaction slot
+    # (a rack / power-domain failure).  1 = the classic single crash.
+    correlated_crashes: int = 1
+    # Probability that a site that just recovered fails again in the same
+    # slot — right after its type-1 control transaction, i.e. inside its
+    # own recovery period (the flapping-site scenario).  0 = never, and
+    # the schedule generator draws no extra randomness, keeping existing
+    # presets byte-identical.
+    flap_rate: float = 0.0
+    # Isolate each recovering site from the other database sites the
+    # moment its type-1 completes (a partition striking mid-recovery),
+    # healing one to two slots later.
+    partition_mid_recovery: bool = False
+
+    @property
+    def recovery_scenario(self) -> bool:
+        """True when any recovery-window scenario mode is active (the
+        gate for recovery-period report lines)."""
+        return (
+            self.correlated_crashes > 1
+            or self.flap_rate > 0.0
+            or self.partition_mid_recovery
+        )
+
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on any bad value."""
         for name in (
@@ -149,6 +174,7 @@ class FaultPlan:
             "recover_rate",
             "partition_rate",
             "heal_rate",
+            "flap_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -165,6 +191,10 @@ class FaultPlan:
             raise ConfigurationError(
                 f"forced_hold_txns must be >= 0: {self.forced_hold_txns}"
             )
+        if self.correlated_crashes < 1:
+            raise ConfigurationError(
+                f"correlated_crashes must be >= 1: {self.correlated_crashes}"
+            )
 
     def describe(self) -> str:
         """A deterministic one-line summary (report header)."""
@@ -179,6 +209,15 @@ class FaultPlan:
         # stay byte-identical to those of earlier revisions.
         if self.lossy_core:
             base += " | mode=lossy-core (all message types, silent drops)"
+        # Same gating discipline for the recovery-window scenario modes.
+        if self.correlated_crashes > 1:
+            base += (
+                f" | mode=correlated ({self.correlated_crashes} sites in one slot)"
+            )
+        if self.flap_rate > 0.0:
+            base += f" | mode=flapping (flap={self.flap_rate:.0%} after recovery)"
+        if self.partition_mid_recovery:
+            base += " | mode=partition-recovery (riser isolated after type-1)"
         return base
 
     @classmethod
@@ -198,6 +237,50 @@ class FaultPlan:
             duplicate_rate=0.05,
             delay_rate=0.25,
             reorder_rate=0.10,
+        )
+
+    @classmethod
+    def correlated(cls) -> "FaultPlan":
+        """Correlated multi-site failure: the forced crash fells two sites
+        in the same transaction slot (a rack or power-domain failure), so
+        recovery must proceed with a depleted donor pool.  Message faults
+        stay quiet to keep the scenario the thing under test."""
+        return cls(
+            drop_rate=0.0,
+            duplicate_rate=0.0,
+            delay_rate=0.0,
+            correlated_crashes=2,
+            recover_rate=0.35,
+        )
+
+    @classmethod
+    def flapping(cls) -> "FaultPlan":
+        """Flapping sites: a recovered site is likely to fail again right
+        after its type-1 control transaction — inside its own recovery
+        period — then come back once more (the RepCRec-style
+        fail/recover-with-stale-replicas model)."""
+        return cls(
+            drop_rate=0.0,
+            duplicate_rate=0.0,
+            delay_rate=0.0,
+            flap_rate=0.6,
+            recover_rate=0.4,
+            forced_hold_txns=4,
+        )
+
+    @classmethod
+    def partition_recovery(cls) -> "FaultPlan":
+        """Partitions striking mid-recovery: the moment a site finishes
+        its type-1, the network isolates it from every other database
+        site for one to two transaction slots.  Its batch copiers bounce,
+        it falsely suspects its donors, and the fail-lock machinery must
+        keep the divergence conservatively covered."""
+        return cls(
+            drop_rate=0.0,
+            duplicate_rate=0.0,
+            delay_rate=0.0,
+            partition_mid_recovery=True,
+            recover_rate=0.35,
         )
 
     @classmethod

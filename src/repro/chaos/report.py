@@ -63,6 +63,15 @@ def format_sweep_report(report: ChaosSweepReport) -> str:
             f"transport: {retransmits} retransmissions, {dedups} duplicates "
             f"suppressed, {gave_up} gave-up; {stalls} stalled run(s)"
         )
+    if report.plan.recovery_scenario:
+        # Recovery-period summary, emitted only for the recovery-window
+        # scenario presets so pre-existing reports stay byte-identical.
+        periods = sum(r.recovery_periods for r in report.results)
+        interrupted = sum(r.interrupted_recoveries for r in report.results)
+        lines.append(
+            f"recovery: {periods} period(s) closed, "
+            f"{interrupted} interrupted by a re-failure"
+        )
     dirty = report.dirty_seeds
     if dirty:
         lines.append("")

@@ -108,6 +108,12 @@ class ChaosRunResult:
     # cheap replay fingerprint — a divergent replay rarely fires the same
     # number of events).
     events_fired: int = 0
+    # Recovery periods observed (defaults keep pickled results from older
+    # workers, and conservative-mode reports, unchanged).  A period is
+    # ``interrupted`` when its site failed again before the last fail-lock
+    # cleared — the flapping-site case.
+    recovery_periods: int = 0
+    interrupted_recoveries: int = 0
 
     @property
     def clean(self) -> bool:
@@ -203,6 +209,11 @@ def run_chaos_seed(
         wire_latency_ms=2.0,
         reliable_delivery=plan.lossy_core,
         timeouts_enabled=plan.lossy_core,
+        # Partition-mid-recovery arcs rejoin the isolated site via a fresh
+        # fail + type-1; the crash must be cold so writes it committed
+        # solo while isolated are discarded instead of surviving as
+        # phantom versions no fail-lock covers.
+        cold_recovery=plan.partition_mid_recovery,
     )
     cluster = Cluster(config)
     if trace is not None:
@@ -249,6 +260,10 @@ def run_chaos_seed(
             else None
         ),
         events_fired=cluster.scheduler.fired,
+        recovery_periods=cluster.metrics.counters.get("recovery_periods"),
+        interrupted_recoveries=cluster.metrics.counters.get(
+            "recovery_periods_interrupted"
+        ),
     )
 
 

@@ -60,18 +60,36 @@ def build_chaos_scenario(
     down: set[int] = set()
     hold_until: dict[int, int] = {}
     partitioned = False
+    # Mid-recovery partitions (plan.partition_mid_recovery) are scheduled
+    # as a whole arc — partition, heal, rejoin — in one pass; no new
+    # partition until the current arc completes, and the isolated site is
+    # withheld from crash/recover rolls while the arc is in flight.
+    partitioned_until = 0
+    rejoin_site = -1
+    rejoin_seq = 0
 
     forced_seq = -1
     if plan.force_crash:
         forced_seq = rng.randint(2, max(2, txn_count // 3))
 
     for seq in range(1, txn_count + 1):
+        if rejoin_site >= 0 and seq > rejoin_seq:
+            up.add(rejoin_site)
+            rejoin_site = -1
         if seq == forced_seq and len(up) > plan.min_up_sites:
-            victim = rng.choice(sorted(up))
-            scenario.add_action(seq, FailSite(victim))
-            up.discard(victim)
-            down.add(victim)
-            hold_until[victim] = seq + plan.forced_hold_txns
+            # correlated_crashes > 1: the forced crash fells several sites
+            # in this same slot (subject to min_up_sites), modelling a
+            # rack/power-domain failure.  The first victim draw is shared
+            # with the classic path so single-crash plans replay
+            # byte-identically.
+            for _ in range(plan.correlated_crashes):
+                if len(up) <= plan.min_up_sites:
+                    break
+                victim = rng.choice(sorted(up))
+                scenario.add_action(seq, FailSite(victim))
+                up.discard(victim)
+                down.add(victim)
+                hold_until[victim] = seq + plan.forced_hold_txns
             continue
 
         # Each action kind owns an exclusive slice of [0, 1); a failed
@@ -96,6 +114,50 @@ def build_chaos_scenario(
                 scenario.add_action(seq, RecoverSite(riser))
                 down.discard(riser)
                 up.add(riser)
+                # Recovery-window scenarios.  Actions appended to the same
+                # slot run right after the RecoverSite completes (the
+                # drive loop pauses at RecoverSite until the type-1's
+                # MGR_RECOVER_DONE), i.e. genuinely *inside* the riser's
+                # recovery period.  Both branches draw randomness only
+                # when their plan flag is set, so every pre-existing plan
+                # replays byte-identically.
+                if (
+                    plan.partition_mid_recovery
+                    and len(sites) >= 3
+                    and seq > partitioned_until
+                    and rejoin_site < 0
+                ):
+                    others = tuple(s for s in sites if s != riser)
+                    scenario.add_action(
+                        seq, PartitionNetwork(groups=((riser,), others))
+                    )
+                    heal_seq = min(txn_count, seq + 1 + rng.randint(0, 1))
+                    scenario.add_action(heal_seq, HealNetwork())
+                    # A partitioned-away site must REJOIN, not resume: its
+                    # fail-lock table went silently stale while isolated
+                    # (majority commits could not reach it), so post-heal
+                    # it can neither trust its own view nor serve as a
+                    # type-1 responder.  A fresh fail + type-1 discards
+                    # the poisoned state — the runner pairs this plan
+                    # with cold_recovery so isolated-side writes are
+                    # discarded too rather than surviving as phantom
+                    # versions no fail-lock covers.
+                    scenario.add_action(heal_seq, FailSite(riser))
+                    scenario.add_action(heal_seq, RecoverSite(riser))
+                    up.discard(riser)
+                    rejoin_site = riser
+                    rejoin_seq = heal_seq
+                    partitioned_until = heal_seq
+                if (
+                    plan.flap_rate > 0.0
+                    and riser in up
+                    and len(up) > plan.min_up_sites
+                    and rng.random() < plan.flap_rate
+                ):
+                    scenario.add_action(seq, FailSite(riser))
+                    up.discard(riser)
+                    down.add(riser)
+                    hold_until[riser] = seq + 1 + rng.randint(0, 2)
         elif roll < partition_hi:
             if not partitioned and len(sites) >= 3:
                 groups = _random_split(sites, rng)

@@ -31,6 +31,7 @@ from repro.chaos.runner import neuter_faillocks
 from repro.check.choices import ChoiceController, Decision
 from repro.check.fingerprint import cluster_fingerprint
 from repro.check.hooks import FateChoiceHook, FaultChoiceHook, OrderChoiceHook
+from repro.core.recovery import RecoveryPolicy
 from repro.errors import SimulationError
 from repro.metrics.records import ViolationRecord
 from repro.system.cluster import Cluster
@@ -61,6 +62,11 @@ class CheckConfig:
     explore_order: bool = True
     explore_fates: bool = False
     explore_faults: bool = True
+    # Recovery policy for explored clusters (on_demand | two_step |
+    # parallel).  The default keeps every pre-existing schedule file —
+    # and the explorer's default search — byte-identical; "parallel"
+    # points the search at the fan-out recovery engine.
+    recovery_policy: str = "on_demand"
     # Per-choice-point and per-run budgets.
     max_branch: int = 3
     max_drops: int = 1
@@ -124,6 +130,7 @@ def run_schedule(
         num_sites=config.sites,
         seed=config.seed,
         wire_latency_ms=2.0,
+        recovery_policy=RecoveryPolicy(config.recovery_policy),
     )
     cluster = Cluster(sys_config)
     if trace is not None:

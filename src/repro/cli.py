@@ -187,6 +187,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "quiet": FaultPlan.quiet,
         "aggressive": FaultPlan.aggressive,
         "lossy-core": FaultPlan.lossy,
+        "correlated": FaultPlan.correlated,
+        "flapping": FaultPlan.flapping,
+        "partition-recovery": FaultPlan.partition_recovery,
     }[args.mode]()
     if args.drop_rate is not None:
         plan.drop_rate = args.drop_rate
@@ -371,6 +374,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    if args.recovery:
+        from repro.recovery.bench import (
+            check_recovery_regression,
+            render_recovery_bench,
+            run_recovery_bench,
+            validate_recovery_bench_doc,
+            write_recovery_bench,
+        )
+
+        doc = run_recovery_bench(quick=args.quick, seed=args.seed)
+        print(render_recovery_bench(doc))
+        problems = validate_recovery_bench_doc(doc)
+        if args.check:
+            try:
+                with open("BENCH_recovery.json", encoding="utf-8") as fh:
+                    committed = json.load(fh)
+            except OSError as exc:
+                problems.append(f"BENCH_recovery.json: {exc}")
+            else:
+                problems += [
+                    f"committed BENCH_recovery.json: {p}"
+                    for p in validate_recovery_bench_doc(committed)
+                ]
+                problems += check_recovery_regression(
+                    committed, doc, tolerance=args.tolerance
+                )
+        if args.write:
+            write_recovery_bench(doc)
+            print("wrote BENCH_recovery.json")
+        if problems:
+            for problem in problems:
+                print(f"BENCH: {problem}", file=sys.stderr)
+            return 1
+        return 0
+
     simcore = run_simcore_bench(quick=args.quick)
     sweep = run_sweep_bench(quick=args.quick, jobs=args.jobs)
     print(render_bench_table(simcore, sweep))
@@ -410,6 +448,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"BENCH: {problem}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    """Run the recovery-time experiment family and emit the
+    byte-deterministic repro.recovery/1 report (repro.recovery)."""
+    from repro.recovery import (
+        build_recovery_report,
+        render_recovery_text,
+        run_recovery_matrix,
+        validate_recovery_report,
+        write_recovery_report,
+        write_recovery_svg,
+    )
+
+    cells = run_recovery_matrix(
+        donor_counts=tuple(args.donors),
+        stale_sizes=tuple(args.stale),
+        policies=tuple(dict.fromkeys(args.policies)),
+        seed=args.seed,
+        wire_latency_ms=args.wire_ms,
+    )
+    doc = build_recovery_report(
+        cells, seed=args.seed, wire_latency_ms=args.wire_ms
+    )
+    problems = validate_recovery_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    print(render_recovery_text(doc))
+    if args.out:
+        write_recovery_report(doc, args.out)
+        print(f"report -> {args.out}")
+    if args.svg:
+        write_recovery_svg(doc, args.svg)
+        print(f"figure -> {args.svg}")
     return 0
 
 
@@ -720,6 +795,7 @@ def _soak_config_from_args(args: argparse.Namespace) -> "SoakConfig":
         db_size=args.db,
         window_ms=args.window_ms,
         detection=args.detection,
+        recovery_policy=args.recovery_policy,
         exemplars=args.exemplars,
         fail_site=None if args.no_fail else args.fail_site,
         fail_at_ms=args.fail_at_ms,
@@ -754,6 +830,60 @@ def _cmd_soak_run(args: argparse.Namespace) -> int:
     if args.svg:
         write_soak_svg(doc, args.svg)
         print(f"figure -> {args.svg}")
+    if args.trace_exemplars:
+        return _soak_trace_exemplars(config, result, args.trace_exemplars)
+    return 0
+
+
+def _soak_trace_exemplars(config, result, out_dir: str) -> int:
+    """Re-run the soak with tracing on and export a run directory whose
+    interesting transactions are the first run's reservoir exemplars.
+
+    The re-run replays byte-identically (same config, same seed), so the
+    exemplar txn ids sampled by the first run name the same transactions
+    in the traced run — no need to pay tracing overhead while sampling.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.export import export_run
+    from repro.obs.sink import TraceSink
+    from repro.soak import run_soak
+
+    exemplar_ids = sorted(e["txn"] for e in result.sink.exemplars.items)
+    if not exemplar_ids:
+        print(
+            "no exemplars sampled (raise --exemplars); nothing to trace",
+            file=sys.stderr,
+        )
+        return 1
+    sink = TraceSink(enabled=True)
+    traced = run_soak(config, trace=sink)
+    out = Path(out_dir)
+    export_run(
+        out,
+        sink,
+        scenario="soak",
+        seed=config.seed,
+        sites=config.num_sites,
+        db_size=config.db_size,
+        sim_time_ms=traced.elapsed_ms,
+    )
+    (out / "exemplars.json").write_text(
+        _json.dumps({"txns": exemplar_ids}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    from repro.obs.timeline import build_timelines
+
+    # A reservoir exemplar can be a transaction the fail window settled
+    # without a commit/abort pair, which has no complete trace window.
+    shown = build_timelines(sink.events)
+    print(f"traced run -> {out}/ ({len(exemplar_ids)} exemplar txns)")
+    for txn in exemplar_ids:
+        if txn in shown:
+            print(f"  repro trace show {txn} --dir {out}")
+        else:
+            print(f"  txn {txn}: settled without a complete window (no timeline)")
     return 0
 
 
@@ -818,10 +948,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--txns", type=int, default=60, help="txns per seed")
     chaos.add_argument(
-        "--mode", choices=["default", "quiet", "aggressive", "lossy-core"],
+        "--mode",
+        choices=[
+            "default", "quiet", "aggressive", "lossy-core",
+            "correlated", "flapping", "partition-recovery",
+        ],
         default="default",
         help="fault plan preset; lossy-core faults ALL message types "
-        "(silent drops) and runs the retransmission + timeout layers "
+        "(silent drops) and runs the retransmission + timeout layers; "
+        "correlated fells several sites in one slot, flapping re-fails "
+        "sites right after recovery, partition-recovery isolates a "
+        "recovering site mid-period "
         "(explicit rate flags still override the preset)",
     )
     chaos.add_argument("--sites", type=int, default=4, help="database sites")
@@ -1084,8 +1221,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="how survivors learn of the crash (timeout = paper-faithful "
         "client-visible dip)",
     )
+    soak_run.add_argument(
+        "--recovery-policy",
+        choices=["on_demand", "two_step", "parallel"],
+        default="on_demand",
+        help="how the crashed site catches up (non-default values add a "
+        "recoveries section to the report)",
+    )
     soak_run.add_argument("--exemplars", type=int, default=20,
                           help="reservoir-sampled exemplar transactions")
+    soak_run.add_argument(
+        "--trace-exemplars", default=None, metavar="DIR",
+        help="re-run the soak with tracing enabled and export a run "
+        "directory focused on the sampled exemplar transactions",
+    )
     soak_run.add_argument("--fail-site", type=int, default=2,
                           help="site to crash")
     soak_run.add_argument("--no-fail", action="store_true",
@@ -1141,7 +1290,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the soak memory-flatness gate instead (short vs 20x "
         "soak in fresh subprocesses; exit 1 unless peaks stay flat)",
     )
+    bench.add_argument(
+        "--recovery", action="store_true",
+        help="run the recovery benchmark instead: deterministic "
+        "two_step-vs-parallel recovery times (exact-match gate + the "
+        "1.5x speedup floor) and matrix events/sec vs "
+        "BENCH_recovery.json",
+    )
     bench.set_defaults(fn=_cmd_bench)
+
+    recovery = sub.add_parser(
+        "recovery",
+        help="recovery-time experiment family: time-to-last-faillock-"
+        "clear vs stale size vs donor count vs policy (repro.recovery)",
+    )
+    recovery.add_argument(
+        "--donors", type=int, nargs="+", default=[1, 2, 4, 6],
+        help="donor counts to sweep (cluster is donors+1 sites)",
+    )
+    recovery.add_argument(
+        "--stale", type=int, nargs="+", default=[16, 32, 64],
+        help="stale-data sizes to sweep (db items staled by a cold crash)",
+    )
+    recovery.add_argument(
+        "--policies", nargs="+", default=["two_step", "parallel"],
+        choices=["on_demand", "two_step", "parallel"],
+        help="recovery policies to compare",
+    )
+    recovery.add_argument(
+        "--wire-ms", type=float, default=9.0,
+        help="wire latency (ms); higher latency rewards fan-out more",
+    )
+    recovery.add_argument("--out", default=None,
+                          help="write the repro.recovery/1 JSON report here")
+    recovery.add_argument("--svg", default=None,
+                          help="write the recovery-time figure here")
+    recovery.set_defaults(fn=_cmd_recovery)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")

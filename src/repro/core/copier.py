@@ -18,15 +18,29 @@ from repro.core.rowaa import RowaaPlanner
 from repro.storage.database import SiteDatabase
 
 
-def choose_copier_source(planner: RowaaPlanner, item_ids: list[int]) -> dict[int, int]:
+def choose_copier_source(
+    planner: RowaaPlanner, item_ids: list[int], spread: bool = False
+) -> dict[int, int]:
     """Pick an operational up-to-date source site for each item.
 
     Returns ``{item_id: site_id}``; an item maps to -1 when no operational
     site holds a current copy (the abort case).  Items are grouped so one
     request per source site suffices — mini-RAID batched multiple copier
     targets into one exchange where possible.
+
+    With ``spread`` (the ``spread_copier_sources`` config flag), the donor
+    is picked round-robin among *all* up-to-date sources by item id
+    (``donors[item_id % len(donors)]``) instead of always the lowest —
+    stateless, so replay determinism needs no extra counter in the site
+    signature.  Default off: committed seeds elect the lowest donor.
     """
-    return {item: planner.up_to_date_source(item) for item in item_ids}
+    if not spread:
+        return {item: planner.up_to_date_source(item) for item in item_ids}
+    chosen: dict[int, int] = {}
+    for item in item_ids:
+        donors = planner.up_to_date_sources(item)
+        chosen[item] = donors[item % len(donors)] if donors else -1
+    return chosen
 
 
 def build_copy_request(item_ids: list[int]) -> dict:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.faillocks import FailLockTable
 
@@ -27,6 +28,7 @@ class RecoveryPolicy(enum.Enum):
 
     ON_DEMAND = "on_demand"    # the paper's measured implementation
     TWO_STEP = "two_step"      # §3.2 proposal: batch copiers below threshold
+    PARALLEL = "parallel"      # repro.recovery: partitioned multi-donor fan-out
 
 
 @dataclass(slots=True)
@@ -68,12 +70,22 @@ class RecoveryManager:
         self.batch_size = batch_size
         self.in_recovery = False
         self.stats = RecoveryStats()
+        # Fired when a recovery period ends: ``(stats, interrupted)``.
+        # ``interrupted`` is True when a new period began (the site failed
+        # again and re-recovered) before the previous one completed — the
+        # flapping-site case.  None by default; metrics wiring sets it.
+        self.on_period_end: Optional[Callable[[RecoveryStats, bool], None]] = None
+        self._period_open = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def begin(self, time: float) -> None:
         """Called when the type-1 control transaction completes."""
+        if self._period_open and self.on_period_end is not None:
+            # The previous period never completed: the site flapped.
+            self.on_period_end(self.stats, True)
         self.in_recovery = True
+        self._period_open = True
         self.stats = RecoveryStats(
             started_at=time,
             initial_stale=self.faillocks.count_for(self.owner),
@@ -119,17 +131,25 @@ class RecoveryManager:
         if self.in_recovery and self.stale_count == 0:
             self.in_recovery = False
             self.stats.finished_at = time
+            self._period_open = False
+            if self.on_period_end is not None:
+                self.on_period_end(self.stats, False)
 
     # -- the two-step policy (§3.2) --------------------------------------------
 
     def wants_batch_copier(self) -> bool:
-        """Whether step two has begun: issue copiers without waiting for
-        reads.  True only under the TWO_STEP policy, while still in
-        recovery, once the stale fraction has dropped below the threshold.
+        """Whether proactive batch copiers should be issued now.
+
+        TWO_STEP waits until the stale fraction drops below the threshold
+        (§3.2's step two); PARALLEL wants them for the whole recovery
+        period — the parallel scheduler partitions the stale set across
+        donors from the first instant.
         """
-        if self.policy is not RecoveryPolicy.TWO_STEP or not self.in_recovery:
+        if not self.in_recovery or self.stale_count == 0:
             return False
-        if self.stale_count == 0:
+        if self.policy is RecoveryPolicy.PARALLEL:
+            return True
+        if self.policy is not RecoveryPolicy.TWO_STEP:
             return False
         return self.stale_fraction() <= self.batch_threshold
 

@@ -68,6 +68,23 @@ class RowaaPlanner:
                 return site
         return -1
 
+    def up_to_date_sources(self, item_id: int, exclude_owner: bool = True) -> list[int]:
+        """All operational sites holding a current copy of ``item_id``.
+
+        Sorted ascending (operational_sites() order); empty when no donor
+        exists.  The multi-donor generalisation of
+        :meth:`up_to_date_source`, used by donor spreading and the
+        parallel recovery partition planner.
+        """
+        current = set(self.faillocks.up_to_date_sites(item_id))
+        sources = []
+        for site in self.vector.operational_sites():
+            if exclude_owner and site == self.owner:
+                continue
+            if site in current and self.catalog.holds(site, item_id):
+                sources.append(site)
+        return sources
+
     def plan_read(self, item_id: int) -> ReadPlan:
         """Decide how a read of ``item_id`` at the owner is satisfied."""
         if self.catalog.holds(self.owner, item_id):

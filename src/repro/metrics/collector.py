@@ -9,6 +9,7 @@ from repro.metrics.records import (
     ControlRecord,
     CopierRecord,
     FailLockSample,
+    RecoveryPeriodRecord,
     TxnRecord,
     ViolationRecord,
 )
@@ -36,6 +37,7 @@ class MetricsCollector:
         self.txns: list[TxnRecord] = []
         self.controls: list[ControlRecord] = []
         self.copiers: list[CopierRecord] = []
+        self.recoveries: list[RecoveryPeriodRecord] = []
         self.faillock_samples: list[FailLockSample] = []
         self.violations: list[ViolationRecord] = []
         self.counters = CounterSet()
@@ -70,6 +72,12 @@ class MetricsCollector:
         self.counters.incr("copiers")
         if record.batch:
             self.counters.incr("batch_copiers")
+
+    def record_recovery_period(self, record: RecoveryPeriodRecord) -> None:
+        self.recoveries.append(record)
+        self.counters.incr("recovery_periods")
+        if record.interrupted:
+            self.counters.incr("recovery_periods_interrupted")
 
     def record_faillock_sample(self, sample: FailLockSample) -> None:
         self.faillock_samples.append(sample)

@@ -71,6 +71,36 @@ class CopierRecord:
         return self.finished_at - self.started_at
 
 
+@dataclass(slots=True)
+class RecoveryPeriodRecord:
+    """One recovery period of one site (type-1 completion -> last
+    fail-lock clear), as tracked by its
+    :class:`~repro.core.recovery.RecoveryManager`.
+
+    ``interrupted`` marks a period that never completed because the site
+    failed again and started a new one — the flapping-site case; its
+    ``finished_at`` stays -1.
+    """
+
+    site_id: int
+    policy: str                   # RecoveryPolicy value
+    started_at: float
+    finished_at: float
+    initial_stale: int
+    copier_requests: int
+    batch_copier_requests: int
+    refreshed_by_write: int
+    refreshed_by_copier: int
+    interrupted: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        """Recovery-period length; -1 when interrupted."""
+        if self.finished_at < 0:
+            return -1.0
+        return self.finished_at - self.started_at
+
+
 @dataclass(slots=True, frozen=True)
 class ViolationRecord:
     """One protocol-invariant violation flagged by the chaos auditor.

@@ -1,0 +1,189 @@
+"""Recovery benchmark + regression gate (``repro bench --recovery``).
+
+Two measurements in one document, ``BENCH_recovery.json``:
+
+* **Deterministic sim timings** — the recovery-window lengths (sim-ms)
+  of the two_step and parallel policies at the acceptance point
+  (4 donors, 64 stale items), and their ratio.  These are pure
+  functions of the seed, so the gate compares them *exactly* against
+  the committed artifact: any drift means simulation behaviour changed,
+  not machine noise.  The gate also enforces the subsystem's floor —
+  parallel must beat sequential two_step by at least
+  ``MIN_PARALLEL_SPEEDUP``.
+* **Wall-clock throughput** — events/sec through a small recovery
+  matrix (warm run, then best-of-3, the ``repro.perf.bench``
+  methodology), gated with the same fractional tolerance as the other
+  bench presets.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.perf.bench import _count_fired
+from repro.recovery.experiment import run_recovery_cell, run_recovery_matrix
+
+__all__ = [
+    "RECOVERY_BENCH_SCHEMA",
+    "MIN_PARALLEL_SPEEDUP",
+    "run_recovery_bench",
+    "validate_recovery_bench_doc",
+    "check_recovery_regression",
+    "render_recovery_bench",
+    "write_recovery_bench",
+]
+
+RECOVERY_BENCH_SCHEMA = "repro.bench.recovery/1"
+
+# The acceptance floor: parallel recovery must clear the last fail-lock
+# at least this much faster than sequential two_step at the gate point.
+MIN_PARALLEL_SPEEDUP = 1.5
+
+# The gate point (4+ donors is where the issue's acceptance bar sits).
+GATE_DONORS = 4
+GATE_STALE = 64
+
+
+def run_recovery_bench(quick: bool = False, seed: int = 42) -> dict[str, Any]:
+    """Measure both halves; return the ``BENCH_recovery.json`` document.
+
+    The deterministic gate cells are identical in quick and full mode
+    (they are cheap and must stay comparable to the committed artifact);
+    quick mode only shrinks the wall-clock matrix.
+    """
+    sequential = run_recovery_cell("two_step", GATE_DONORS, GATE_STALE, seed=seed)
+    parallel = run_recovery_cell("parallel", GATE_DONORS, GATE_STALE, seed=seed)
+    speedup = sequential.recovery_ms / parallel.recovery_ms
+
+    donor_counts = (2, 4) if quick else (1, 2, 4, 6)
+    stale_sizes = (32,) if quick else (32, 64)
+
+    def matrix() -> None:
+        run_recovery_matrix(
+            donor_counts=donor_counts, stale_sizes=stale_sizes, seed=seed
+        )
+
+    with _count_fired() as counter:
+        matrix()  # warm: imports, bytecode/attribute caches
+    events = counter["fired"]
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        matrix()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "schema": RECOVERY_BENCH_SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "gate": {
+            "donors": GATE_DONORS,
+            "stale_items": GATE_STALE,
+            "two_step_ms": round(sequential.recovery_ms, 3),
+            "parallel_ms": round(parallel.recovery_ms, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_PARALLEL_SPEEDUP,
+        },
+        "throughput": {
+            "donor_counts": list(donor_counts),
+            "stale_sizes": list(stale_sizes),
+            "events": events,
+            "wall_s": round(best, 6),
+            "events_per_sec": round(events / best, 1) if best > 0 else 0.0,
+        },
+    }
+
+
+def validate_recovery_bench_doc(doc: Any) -> list[str]:
+    """Schema problems in a ``BENCH_recovery.json`` document ([] if none)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != RECOVERY_BENCH_SCHEMA:
+        problems.append(
+            f"schema: expected {RECOVERY_BENCH_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        problems.append("gate: expected object")
+    else:
+        for key in ("two_step_ms", "parallel_ms", "speedup", "min_speedup"):
+            if not isinstance(gate.get(key), (int, float)):
+                problems.append(f"gate.{key}: missing or non-numeric")
+        if not problems and gate["speedup"] < gate["min_speedup"]:
+            problems.append(
+                f"gate: parallel speedup {gate['speedup']}x below the "
+                f"{gate['min_speedup']}x floor"
+            )
+    throughput = doc.get("throughput")
+    if not isinstance(throughput, dict):
+        problems.append("throughput: expected object")
+    else:
+        for key in ("events", "wall_s", "events_per_sec"):
+            if not isinstance(throughput.get(key), (int, float)):
+                problems.append(f"throughput.{key}: missing or non-numeric")
+    return problems
+
+
+def check_recovery_regression(
+    committed: dict[str, Any], current: dict[str, Any], tolerance: float = 0.30
+) -> list[str]:
+    """Gate the current measurement against the committed artifact.
+
+    Sim timings compare exactly (they are deterministic — a drift is a
+    behaviour change, and the artifact must be regenerated *knowingly*
+    with ``--write``); events/sec compares with ``tolerance`` slack.
+    """
+    problems: list[str] = []
+    committed_gate = committed.get("gate", {})
+    current_gate = current.get("gate", {})
+    for key in ("two_step_ms", "parallel_ms"):
+        old = committed_gate.get(key)
+        new = current_gate.get(key)
+        if old != new:
+            problems.append(
+                f"gate.{key}: sim timing drifted from committed "
+                f"{old} to {new} (deterministic value — simulation "
+                f"behaviour changed; regenerate with --recovery --write "
+                f"if intended)"
+            )
+    old_eps = committed.get("throughput", {}).get("events_per_sec")
+    new_eps = current.get("throughput", {}).get("events_per_sec")
+    if isinstance(old_eps, (int, float)) and isinstance(new_eps, (int, float)):
+        floor = old_eps * (1.0 - tolerance)
+        if new_eps < floor:
+            problems.append(
+                f"throughput: {new_eps:.0f} events/sec is more than "
+                f"{tolerance:.0%} below committed {old_eps:.0f}"
+            )
+    return problems
+
+
+def render_recovery_bench(doc: dict[str, Any]) -> str:
+    """One-screen summary of the document."""
+    gate = doc["gate"]
+    throughput = doc["throughput"]
+    return "\n".join(
+        [
+            f"recovery bench (seed={doc['seed']}, quick={doc['quick']}):",
+            f"  gate ({gate['donors']} donors, {gate['stale_items']} stale): "
+            f"two_step={gate['two_step_ms']:.1f} ms "
+            f"parallel={gate['parallel_ms']:.1f} ms "
+            f"speedup={gate['speedup']:.2f}x (floor {gate['min_speedup']}x)",
+            f"  throughput: {throughput['events']} events in "
+            f"{throughput['wall_s']:.3f} s = "
+            f"{throughput['events_per_sec']:.0f} events/sec",
+        ]
+    )
+
+
+def write_recovery_bench(
+    doc: dict[str, Any], path: str | Path = "BENCH_recovery.json"
+) -> Path:
+    """Write the artifact with fixed formatting."""
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path

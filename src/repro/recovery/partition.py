@@ -1,0 +1,58 @@
+"""Deterministic partitioning of a stale-item set across donor sites.
+
+The planner assigns each fail-locked item to one up-to-date donor so the
+recovering site can fetch all shards concurrently.  Determinism matters:
+`repro.check` fingerprints protocol state, and chaos seeds must replay
+byte-identically — so the plan is a pure function of the (sorted) item
+list and the planner's current fail-lock/session view, with no RNG.
+
+Balancing rule: items are considered in ascending id order; each goes to
+the *least-loaded* eligible donor so far (ties broken by lowest donor
+id).  Under full replication this degenerates to an even round-robin;
+under partial replication it load-balances whatever donor sets exist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rowaa import RowaaPlanner
+
+
+def plan_partitions(
+    planner: "RowaaPlanner",
+    item_ids: Iterable[int],
+    exclude: Iterable[int] = (),
+    max_donors: int = 0,
+) -> dict[int, list[int]]:
+    """Shard ``item_ids`` across up-to-date donor sites.
+
+    Returns ``{donor_site: [item, ...]}`` with every item list ascending.
+    Items with no eligible donor (none operational and current, or all in
+    ``exclude``) are simply absent — they cannot be fetched this round and
+    will be re-planned once the donor picture changes.
+
+    ``exclude`` removes donors from consideration (busy with an
+    outstanding shard, or denied this epoch).  ``max_donors`` > 0 caps how
+    many *distinct* donors the plan may open; once the cap is reached,
+    items whose donor sets do not intersect the opened set are deferred to
+    a later round rather than over-committing.
+    """
+    excluded = frozenset(exclude)
+    shards: dict[int, list[int]] = {}
+    loads: dict[int, int] = {}
+    for item in sorted(item_ids):
+        donors = [
+            d for d in planner.up_to_date_sources(item) if d not in excluded
+        ]
+        if not donors:
+            continue
+        if max_donors > 0 and len(loads) >= max_donors:
+            donors = [d for d in donors if d in loads]
+            if not donors:
+                continue
+        best = min(donors, key=lambda d: (loads.get(d, 0), d))
+        shards.setdefault(best, []).append(item)
+        loads[best] = loads.get(best, 0) + 1
+    return shards

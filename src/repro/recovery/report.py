@@ -1,0 +1,255 @@
+"""Byte-deterministic recovery-time report: build, validate, render, write.
+
+Schema ``repro.recovery/1``.  Same discipline as ``repro.soak/1``: every
+number derives from the seeded simulation, floats are rounded to fixed
+precision, dict insertion order is fixed — so the same matrix always
+serializes to the same bytes, which CI asserts by re-running and
+comparing artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.recovery.experiment import RecoveryCell
+
+__all__ = [
+    "RECOVERY_SCHEMA",
+    "build_recovery_report",
+    "validate_recovery_report",
+    "render_recovery_text",
+    "write_recovery_report",
+    "write_recovery_svg",
+]
+
+RECOVERY_SCHEMA = "repro.recovery/1"
+
+
+def _round(value: float, digits: int = 3) -> float:
+    return round(value, digits)
+
+
+def build_recovery_report(
+    cells: list[RecoveryCell],
+    *,
+    seed: int,
+    wire_latency_ms: float = 9.0,
+) -> dict:
+    """Assemble the ``repro.recovery/1`` document from a finished matrix."""
+    if not cells:
+        raise ConfigurationError("recovery report needs at least one cell")
+    donor_counts = sorted({c.donors for c in cells})
+    stale_sizes = sorted({c.stale_items for c in cells})
+    policies = sorted({c.policy for c in cells})
+    cell_docs = [
+        {
+            "policy": c.policy,
+            "donors": c.donors,
+            "stale_items": c.stale_items,
+            "recovery_ms": _round(c.recovery_ms),
+            "initial_stale": c.initial_stale,
+            "copier_requests": c.copier_requests,
+            "batch_copier_requests": c.batch_copier_requests,
+            "refreshed_by_write": c.refreshed_by_write,
+            "refreshed_by_copier": c.refreshed_by_copier,
+        }
+        for c in sorted(
+            cells, key=lambda c: (c.policy, c.donors, c.stale_items)
+        )
+    ]
+    # Pairwise speedup: sequential two_step over parallel, per matrix
+    # point present for both policies.
+    by_key = {(c.policy, c.donors, c.stale_items): c for c in cells}
+    speedups = []
+    for donors in donor_counts:
+        for stale in stale_sizes:
+            sequential = by_key.get(("two_step", donors, stale))
+            parallel = by_key.get(("parallel", donors, stale))
+            if sequential is None or parallel is None:
+                continue
+            speedups.append(
+                {
+                    "donors": donors,
+                    "stale_items": stale,
+                    "two_step_ms": _round(sequential.recovery_ms),
+                    "parallel_ms": _round(parallel.recovery_ms),
+                    "speedup": _round(
+                        sequential.recovery_ms / parallel.recovery_ms
+                    ),
+                }
+            )
+    at_4plus = [s["speedup"] for s in speedups if s["donors"] >= 4]
+    return {
+        "schema": RECOVERY_SCHEMA,
+        "config": {
+            "seed": seed,
+            "wire_latency_ms": wire_latency_ms,
+            "donor_counts": donor_counts,
+            "stale_sizes": stale_sizes,
+            "policies": policies,
+        },
+        "cells": cell_docs,
+        "speedup": {
+            "pairs": speedups,
+            # The acceptance quantity: the WORST parallel-vs-sequential
+            # ratio across all 4+-donor matrix points.
+            "min_at_4plus_donors": min(at_4plus) if at_4plus else None,
+        },
+    }
+
+
+def validate_recovery_report(doc: dict) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != RECOVERY_SCHEMA:
+        problems.append(
+            f"schema: expected {RECOVERY_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    for section, kind in (("config", dict), ("cells", list), ("speedup", dict)):
+        if not isinstance(doc.get(section), kind):
+            problems.append(f"doc.{section}: expected {kind.__name__}")
+    if problems:
+        return problems
+    if not doc["cells"]:
+        problems.append("cells: empty matrix")
+    for i, cell in enumerate(doc["cells"]):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: expected object")
+            continue
+        for key in ("policy", "donors", "stale_items", "recovery_ms",
+                    "initial_stale", "refreshed_by_copier"):
+            if key not in cell:
+                problems.append(f"{where}: missing key {key!r}")
+        recovery_ms = cell.get("recovery_ms")
+        if isinstance(recovery_ms, (int, float)) and recovery_ms <= 0:
+            problems.append(f"{where}.recovery_ms not positive: {recovery_ms}")
+        initial = cell.get("initial_stale")
+        stale = cell.get("stale_items")
+        if (
+            isinstance(initial, int)
+            and isinstance(stale, int)
+            and initial != stale
+        ):
+            # A cold crash stales the full database at the riser; a
+            # mismatch means the cell measured something else.
+            problems.append(
+                f"{where}: initial_stale {initial} != stale_items {stale}"
+            )
+    speedup = doc["speedup"]
+    if not isinstance(speedup.get("pairs"), list):
+        problems.append("speedup.pairs: expected list")
+        return problems
+    for i, pair in enumerate(speedup["pairs"]):
+        where = f"speedup.pairs[{i}]"
+        two_step = pair.get("two_step_ms")
+        parallel = pair.get("parallel_ms")
+        ratio = pair.get("speedup")
+        if not all(
+            isinstance(v, (int, float)) for v in (two_step, parallel, ratio)
+        ):
+            problems.append(f"{where}: missing or non-numeric timings")
+            continue
+        if parallel > 0 and abs(ratio - two_step / parallel) > 0.01:
+            problems.append(
+                f"{where}: speedup {ratio} inconsistent with timings"
+            )
+    return problems
+
+
+def _series_by_policy(doc: dict, stale_items: int) -> dict[str, list]:
+    """recovery_ms vs donor count, one series per policy, at one stale size."""
+    series: dict[str, list] = {}
+    for cell in doc["cells"]:
+        if cell["stale_items"] != stale_items:
+            continue
+        series.setdefault(cell["policy"], []).append(
+            (float(cell["donors"]), cell["recovery_ms"])
+        )
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def render_recovery_text(doc: dict) -> str:
+    """Human-readable report: matrix table, speedups, ASCII chart."""
+    from repro.viz.ascii_chart import AsciiChart
+
+    config = doc["config"]
+    lines = [
+        f"recovery-time matrix (seed={config['seed']}, "
+        f"wire={config['wire_latency_ms']} ms): "
+        f"donors {config['donor_counts']} x stale {config['stale_sizes']} "
+        f"x policies {config['policies']}",
+        "",
+        f"{'policy':>10} {'donors':>6} {'stale':>6} {'recovery_ms':>12} "
+        f"{'by_copier':>9} {'by_write':>8} {'batches':>7}",
+    ]
+    for cell in doc["cells"]:
+        lines.append(
+            f"{cell['policy']:>10} {cell['donors']:>6} "
+            f"{cell['stale_items']:>6} {cell['recovery_ms']:>12.1f} "
+            f"{cell['refreshed_by_copier']:>9} "
+            f"{cell['refreshed_by_write']:>8} "
+            f"{cell['batch_copier_requests']:>7}"
+        )
+    pairs = doc["speedup"]["pairs"]
+    if pairs:
+        lines.append("")
+        lines.append("speedup (two_step / parallel):")
+        for pair in pairs:
+            lines.append(
+                f"  donors={pair['donors']} stale={pair['stale_items']}: "
+                f"{pair['two_step_ms']:.1f} ms / {pair['parallel_ms']:.1f} ms "
+                f"= {pair['speedup']:.2f}x"
+            )
+        floor = doc["speedup"]["min_at_4plus_donors"]
+        if floor is not None:
+            lines.append(f"  minimum at 4+ donors: {floor:.2f}x")
+    largest = max(config["stale_sizes"])
+    series = _series_by_policy(doc, largest)
+    if series:
+        chart = AsciiChart(
+            height=10,
+            title=f"recovery time vs donors (stale={largest})",
+            x_label="donors",
+        )
+        for policy in sorted(series):
+            chart.add_series(policy, series[policy])
+        lines.append("")
+        lines.append(chart.render())
+    return "\n".join(lines)
+
+
+def write_recovery_report(doc: dict, path: str | Path) -> Path:
+    """Write the report with fixed formatting (byte-deterministic)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def write_recovery_svg(doc: dict, path: str | Path) -> Path:
+    """Figure hook: recovery time vs donor count, one line per policy,
+    at the largest stale size in the matrix."""
+    from repro.viz.svg_chart import SvgChart
+
+    largest = max(doc["config"]["stale_sizes"])
+    series = _series_by_policy(doc, largest)
+    if not series:
+        raise ConfigurationError("recovery report has no plottable series")
+    chart = SvgChart(
+        title=f"recovery time vs donor count (stale={largest} items)",
+        x_label="donor count",
+        y_label="recovery time (ms)",
+    )
+    for policy in sorted(series):
+        chart.add_series(policy, series[policy])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(chart.render(), encoding="utf-8")
+    return path

@@ -1,0 +1,150 @@
+"""The parallel copier scheduler behind ``RecoveryPolicy.PARALLEL``.
+
+Where two-step recovery (§3.2) keeps a single outstanding batch copier,
+this scheduler partitions the recovering site's remaining stale items
+across *all* up-to-date donors (:func:`repro.recovery.plan_partitions`)
+and keeps one bounded-size batch in flight per donor.  Donor-side CPU in
+the :class:`~repro.system.costs.CostModel` is what then limits throughput:
+with enough cores, each donor formats its COPY_RESP concurrently and
+recovery time is governed by the largest shard, not the whole stale set.
+
+Incremental catch-up is structural rather than event-driven: ``pump()``
+re-reads the *current* stale set and donor picture every time it runs
+(at recovery start, after every commit that cleared locks, after every
+batch response, after a donor bounce or denial), so shards shrink as
+transaction writes refresh copies, and work re-routes when a donor fails
+mid-recovery.
+
+Determinism: no RNG, no wall-clock; everything derives from the site's
+protocol state.  The only scheduler-private state is the denied-donor set
+for the current recovery epoch, exposed via :meth:`signature` so
+``repro.check`` fingerprints cover it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import copier as copier_mod
+from repro.core.recovery import RecoveryPolicy
+from repro.metrics.records import CopierRecord
+from repro.net.message import MessageType
+from repro.recovery.partition import plan_partitions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import HandlerContext
+    from repro.site.site import DatabaseSite
+
+
+def _batch_txn_id() -> int:
+    # Imported lazily: repro.site.site constructs this scheduler, so a
+    # module-level import back into it would be circular.
+    from repro.site.site import BATCH_COPIER_TXN
+
+    return BATCH_COPIER_TXN
+
+
+class ParallelCopierScheduler:
+    """Fan-out batch-copier engine for one recovering site.
+
+    Owned by a :class:`~repro.site.site.DatabaseSite` whose configured
+    recovery policy is PARALLEL; shares the site's ``_batch_pending``
+    in-flight map so the existing response/denial/bounce plumbing (and the
+    site signature) sees parallel shards exactly like two-step batches.
+    """
+
+    __slots__ = ("site", "_denied", "_epoch")
+
+    def __init__(self, site: "DatabaseSite") -> None:
+        self.site = site
+        # Donors that answered COPY_DENIED this recovery epoch: our
+        # fail-lock view said they were current but theirs disagreed.
+        # Excluded from re-planning until the next epoch so a stale view
+        # cannot produce an infinite request/deny loop.
+        self._denied: set[int] = set()
+        self._epoch: float = -1.0
+
+    def crash_reset(self) -> None:
+        """The owning site crashed: scheduler state is volatile."""
+        self._denied.clear()
+        self._epoch = -1.0
+
+    def note_denied(self, donor: int) -> None:
+        """A batch COPY_REQ to ``donor`` came back COPY_DENIED."""
+        self._denied.add(donor)
+
+    def pump(self, ctx: "HandlerContext") -> None:
+        """(Re-)plan and issue batch copiers for every free donor.
+
+        Safe to call at any point; does nothing unless the site is in a
+        PARALLEL recovery period with stale items not already in flight.
+        """
+        site = self.site
+        recovery = site.recovery
+        if (
+            recovery.policy is not RecoveryPolicy.PARALLEL
+            or not recovery.in_recovery
+        ):
+            return
+        if self._epoch != recovery.stats.started_at:
+            # New recovery period: denials from the previous epoch are
+            # stale knowledge (the donor may have recovered since).
+            self._epoch = recovery.stats.started_at
+            self._denied.clear()
+        pending = site._batch_pending
+        in_flight: set[int] = set()
+        for items in pending.values():
+            in_flight.update(items)
+        remaining = [i for i in recovery.stale_items() if i not in in_flight]
+        if not remaining:
+            return
+        fanout = site.config.recovery_fanout
+        slots = 0
+        if fanout > 0:
+            slots = fanout - len(pending)
+            if slots <= 0:
+                return
+        shards = plan_partitions(
+            site.planner,
+            remaining,
+            exclude=set(pending) | self._denied,
+            max_donors=slots,
+        )
+        if not shards:
+            return
+        ctx.charge(site.costs.recovery_plan_cost)
+        batch_txn = _batch_txn_id()
+        batch_size = recovery.batch_size
+        for donor, items in sorted(shards.items()):
+            batch = items[:batch_size]
+            pending[donor] = batch
+            ctx.charge(site.costs.copy_request_cost)
+            ctx.send(
+                donor,
+                MessageType.COPY_REQ,
+                copier_mod.build_copy_request(batch),
+                txn_id=batch_txn,
+                session=site.nsv.my_session,
+            )
+            recovery.note_copier_request(batch=True)
+            site.metrics.record_copier(
+                CopierRecord(
+                    txn_id=batch_txn,
+                    requester=site.site_id,
+                    source=donor,
+                    items=len(batch),
+                    batch=True,
+                    started_at=ctx.now,
+                    finished_at=ctx.now,
+                )
+            )
+
+    def signature(self) -> tuple:
+        """Scheduler-private protocol-visible state (``repro.check``)."""
+        return (tuple(sorted(self._denied)), self._epoch != -1.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelCopierScheduler(site={self.site.site_id}, "
+            f"denied={sorted(self._denied)})"
+        )

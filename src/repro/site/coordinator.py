@@ -247,13 +247,21 @@ class CoordinatorRole:
         # Under partial replication, reads of items with no local copy
         # travel over the same exchange (fetched but not installed).
         stale_reads = []
+        spread = site.config.spread_copier_sources
         for item in txn.read_items:
             plan = site.planner.plan_read(item)
             if plan.source is ReadSource.UNAVAILABLE:
                 self._abort(ctx, state, AbortReason.COPY_UNAVAILABLE)
                 return
             if plan.source in (ReadSource.COPIER_NEEDED, ReadSource.REMOTE):
-                stale_reads.append((item, plan.site_id))
+                source = plan.site_id
+                if spread:
+                    # Donor spreading: round-robin by item id across all
+                    # up-to-date sources instead of always the lowest.
+                    source = copier_mod.choose_copier_source(
+                        site.planner, [item], spread=True
+                    )[item]
+                stale_reads.append((item, source))
         if stale_reads:
             self._issue_copiers(ctx, state, stale_reads)
             return

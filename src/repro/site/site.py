@@ -18,12 +18,12 @@ from repro.core.control import (
     RecoveryState,
 )
 from repro.core.faillocks import FailLockTable
-from repro.core.recovery import RecoveryManager
+from repro.core.recovery import RecoveryManager, RecoveryPolicy, RecoveryStats
 from repro.core.rowaa import RowaaPlanner
 from repro.core.sessions import NominalSessionVector, SiteState
 from repro.errors import ProtocolError
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.records import ControlRecord, CopierRecord
+from repro.metrics.records import ControlRecord, CopierRecord, RecoveryPeriodRecord
 from repro.net.endpoint import Endpoint, HandlerContext
 from repro.net.message import Message, MessageType
 from repro.net.network import Network
@@ -70,6 +70,7 @@ class DatabaseSite(Endpoint):
             batch_threshold=config.batch_threshold,
             batch_size=config.batch_size,
         )
+        self.recovery.on_period_end = self._on_recovery_period_end
         self.planner = RowaaPlanner(site_id, self.nsv, self.faillocks, self.catalog)
         self.coordinator = CoordinatorRole(self)
         self.participant = ParticipantRole(self)
@@ -79,6 +80,14 @@ class DatabaseSite(Endpoint):
             self.lock_service: Optional[SiteLockService] = SiteLockService(self)
         else:
             self.lock_service = None
+        if config.recovery_policy is RecoveryPolicy.PARALLEL:
+            from repro.recovery.scheduler import ParallelCopierScheduler
+
+            self.parallel_recovery: Optional[ParallelCopierScheduler] = (
+                ParallelCopierScheduler(self)
+            )
+        else:
+            self.parallel_recovery = None
         self.network: Network = None  # type: ignore[assignment] # set by attach()
         # Optional audit probe (repro.chaos.invariants): notified of commit
         # applications and coordinator aborts so protocol invariants can be
@@ -143,6 +152,12 @@ class DatabaseSite(Endpoint):
     def _on_copy_denied(self, ctx: HandlerContext, msg: Message) -> None:
         if msg.txn_id == BATCH_COPIER_TXN:
             self._batch_pending.pop(msg.src, None)
+            if self.parallel_recovery is not None:
+                # The donor's own fail-lock view disagreed with ours:
+                # exclude it for this recovery epoch and re-plan the shard
+                # onto the remaining donors.
+                self.parallel_recovery.note_denied(msg.src)
+                self._maybe_issue_batch_copiers(ctx)
         else:
             self.coordinator.on_copy_denied(ctx, msg)
 
@@ -275,12 +290,20 @@ class DatabaseSite(Endpoint):
     # -- batch copiers (two-step recovery, §3.2 proposal) -------------------------------
 
     def _maybe_issue_batch_copiers(self, ctx: HandlerContext) -> None:
+        if self.parallel_recovery is not None:
+            # PARALLEL policy: the partitioned fan-out scheduler owns
+            # batch-copier issue (multiple shards in flight at once).
+            self.parallel_recovery.pump(ctx)
+            return
         if not self.recovery.wants_batch_copier() or self._batch_pending:
             return
         items = self.recovery.next_batch()
+        sources = copier_mod.choose_copier_source(
+            self.planner, items, spread=self.config.spread_copier_sources
+        )
         by_source: dict[int, list[int]] = {}
         for item in items:
-            source = self.planner.up_to_date_source(item)
+            source = sources[item]
             if source >= 0:
                 by_source.setdefault(source, []).append(item)
         if not by_source:
@@ -444,6 +467,8 @@ class DatabaseSite(Endpoint):
         if self.lock_service is not None:
             self.lock_service.wipe()
         self._batch_pending.clear()
+        if self.parallel_recovery is not None:
+            self.parallel_recovery.crash_reset()
         self._recovery_candidates = []
         obs = self.network.obs
         if obs.enabled:
@@ -560,6 +585,25 @@ class DatabaseSite(Endpoint):
         self.recovery.begin(ctx.now)
         self._record_recovery_done(ctx)
         self._maybe_issue_batch_copiers(ctx)
+
+    def _on_recovery_period_end(self, stats: RecoveryStats, interrupted: bool) -> None:
+        """A recovery period closed (completed, or interrupted by a re-fail):
+        keep a summary row.  Pure metrics append — no scheduling, costs, or
+        RNG — so recording it unconditionally cannot perturb replay."""
+        self.metrics.record_recovery_period(
+            RecoveryPeriodRecord(
+                site_id=self.site_id,
+                policy=self.recovery.policy.value,
+                started_at=stats.started_at,
+                finished_at=stats.finished_at,
+                initial_stale=stats.initial_stale,
+                copier_requests=stats.copier_requests,
+                batch_copier_requests=stats.batch_copier_requests,
+                refreshed_by_write=stats.refreshed_by_write,
+                refreshed_by_copier=stats.refreshed_by_copier,
+                interrupted=interrupted,
+            )
+        )
 
     def _record_recovery_done(self, ctx: HandlerContext) -> None:
         started = self._recovery_started_at
@@ -741,7 +785,7 @@ class DatabaseSite(Endpoint):
         fingerprint must identify states that *behave* identically, not
         states reached at the same instant.
         """
-        return (
+        sig = (
             self.site_id,
             self.alive,
             self.nsv.signature(),
@@ -759,6 +803,11 @@ class DatabaseSite(Endpoint):
             if self.lock_service is not None
             else None,
         )
+        if self.parallel_recovery is not None:
+            # Appended only under the PARALLEL policy so fingerprints of
+            # every pre-existing configuration keep their exact shape.
+            sig = sig + (self.parallel_recovery.signature(),)
+        return sig
 
     def __repr__(self) -> str:
         return (

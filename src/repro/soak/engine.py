@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError, ProtocolError, SimulationError
 from repro.core.control import FailureAnnouncement
+from repro.core.recovery import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import TxnRecord
 from repro.metrics.streaming import StreamingTxnSink, Window
@@ -87,6 +88,10 @@ class SoakConfig:
     # bounced messages — the client-visible availability dip the paper's
     # §3 asks about) or "announced" (type-2 announcement hides most of it).
     detection: str = "timeout"
+    # Recovery policy for the failed site's catch-up: on_demand | two_step
+    # | parallel.  The default keeps soak reports byte-identical to
+    # earlier revisions; non-default values add a recoveries section.
+    recovery_policy: str = "on_demand"
     # Streaming metrics.  ``window_ms`` is the *minimum* window width:
     # when the estimated run would produce more than ``max_windows``
     # windows, the width is widened up-front so the series length — and
@@ -149,6 +154,12 @@ class SoakConfig:
             raise ConfigurationError(
                 f"unknown detection mode: {self.detection!r}"
             ) from None
+        try:
+            recovery_policy = RecoveryPolicy(self.recovery_policy)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown recovery policy: {self.recovery_policy!r}"
+            ) from None
         return SystemConfig(
             seed=self.seed,
             num_sites=self.num_sites,
@@ -159,6 +170,7 @@ class SoakConfig:
             concurrency_control=True,
             timeouts_enabled=True,
             detection=detection,
+            recovery_policy=recovery_policy,
         )
 
     def estimated_duration_ms(self) -> float:
@@ -243,6 +255,10 @@ class SoakResult:
     deadlocks_detected: int = 0
     status_inquiries: int = 0
     fault: Optional[FaultEvent] = None
+    # Recovery periods the run observed (RecoveryPeriodRecord list).  The
+    # report only surfaces them for non-default recovery policies, so the
+    # default soak artifacts stay byte-identical to earlier revisions.
+    recoveries: list = field(default_factory=list)
 
     @property
     def txns(self) -> int:
@@ -431,14 +447,22 @@ class SoakManager(Endpoint):
         ctx.send(site_id, MessageType.MGR_RECOVER, {})
 
 
-def run_soak(config: Optional[SoakConfig] = None) -> SoakResult:
-    """Run one soak and return its streaming aggregates."""
+def run_soak(config: Optional[SoakConfig] = None, trace=None) -> SoakResult:
+    """Run one soak and return its streaming aggregates.
+
+    Pass an enabled :class:`~repro.obs.sink.TraceSink` as ``trace`` to
+    capture the run's structured trace; tracing is pure observation and
+    does not perturb the simulation (same discipline as
+    :func:`repro.chaos.runner.run_chaos_seed`).
+    """
     if config is None:
         config = SoakConfig()
     config.validate()
     system = config.system_config()
     cluster_metrics = MetricsCollector(retain_txns=False)
     cluster = Cluster(system, metrics=cluster_metrics)
+    if trace is not None:
+        cluster.network.obs = trace
     sink = StreamingTxnSink(
         window_ms=config.effective_window_ms(),
         rel_err=config.rel_err,
@@ -525,4 +549,5 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakResult:
         deadlocks_detected=detector.deadlocks_found,
         status_inquiries=cluster.metrics.counters.get("status_inquiries"),
         fault=manager.faults[0] if manager.faults else fault,
+        recoveries=list(cluster.metrics.recoveries),
     )

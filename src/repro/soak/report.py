@@ -145,7 +145,7 @@ def build_report(result: SoakResult) -> dict:
     for exemplar in exemplars:
         exemplar["submitted_at"] = _round(exemplar["submitted_at"])
         exemplar["latency_ms"] = _round(exemplar["latency_ms"])
-    return {
+    doc = {
         "schema": SOAK_SCHEMA,
         "config": {
             "seed": config.seed,
@@ -196,6 +196,29 @@ def build_report(result: SoakResult) -> dict:
         ),
         "exemplars": exemplars,
     }
+    if config.recovery_policy != "on_demand":
+        # Recovery-period accounting, surfaced only for the non-default
+        # policies so default-config reports stay byte-identical to those
+        # of earlier revisions (same gating discipline as the chaos
+        # report's recovery line).
+        doc["config"]["recovery_policy"] = config.recovery_policy
+        doc["recoveries"] = [
+            {
+                "site": r.site_id,
+                "policy": r.policy,
+                "started_at_ms": _round(r.started_at),
+                "finished_at_ms": _round(r.finished_at),
+                "elapsed_ms": _round(r.elapsed),
+                "initial_stale": r.initial_stale,
+                "copier_requests": r.copier_requests,
+                "batch_copier_requests": r.batch_copier_requests,
+                "refreshed_by_write": r.refreshed_by_write,
+                "refreshed_by_copier": r.refreshed_by_copier,
+                "interrupted": r.interrupted,
+            }
+            for r in result.recoveries
+        ]
+    return doc
 
 
 def validate_soak_report(doc: dict) -> list[str]:
@@ -318,6 +341,21 @@ def render_soak_text(doc: dict) -> str:
                 f"  availability: baseline={availability['baseline']:.3f} "
                 f"dip={availability['dip']:.3f} at {availability['dip_t_ms']:.0f} ms, "
                 f"back to baseline in {recovery}"
+            )
+    recoveries = doc.get("recoveries")
+    if recoveries is not None:
+        closed = [r for r in recoveries if not r["interrupted"]]
+        lines.append(
+            f"  recovery ({doc['config'].get('recovery_policy', '?')}): "
+            f"{len(recoveries)} period(s), {len(recoveries) - len(closed)} "
+            f"interrupted"
+        )
+        for r in closed:
+            lines.append(
+                f"    site {r['site']}: {r['elapsed_ms']:.1f} ms to clear "
+                f"{r['initial_stale']} stale item(s) "
+                f"({r['refreshed_by_copier']} by copier, "
+                f"{r['refreshed_by_write']} by write)"
             )
     chart_avail = _series_points(doc, "availability")
     if chart_avail:

@@ -75,6 +75,15 @@ class SystemConfig:
     batch_threshold: float = 0.2
     batch_size: int = 5
 
+    # Donor spreading for on-demand / two-step copiers: pick each item's
+    # copier source round-robin among all up-to-date donors (by item id)
+    # instead of always the lowest.  Off by default so committed seeds
+    # replay byte-identically.  The PARALLEL policy always spreads.
+    spread_copier_sources: bool = False
+    # PARALLEL policy: maximum donors addressed concurrently during one
+    # fan-out round (0 = every eligible donor).
+    recovery_fanout: int = 0
+
     # "Complete RAID" extension: strict 2PL at every site with global
     # deadlock detection, enabling concurrent (open-loop) transaction
     # streams.  Off for all paper reproductions (mini-RAID was serial).
@@ -155,6 +164,10 @@ class SystemConfig:
             )
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.recovery_fanout < 0:
+            raise ConfigurationError(
+                f"recovery_fanout must be non-negative: {self.recovery_fanout}"
+            )
         if self.cores < 1:
             raise ConfigurationError(f"cores must be >= 1: {self.cores}")
         if self.wire_latency_ms < 0:

@@ -72,6 +72,10 @@ class CostModel:
     clear_notice_format_cost: float = 1.0   # per CLEAR_FAILLOCKS message
     clear_notice_apply_cost: float = 11.0   # peer clears the bits
 
+    # Parallel recovery (repro.recovery): one partition-planning pass —
+    # the recovering site shards its stale set across donors.
+    recovery_plan_cost: float = 2.0
+
     # Control transaction type 3 (extension; §3.2 proposal).
     create_copy_cost: float = 5.0
     drop_copy_cost: float = 2.0

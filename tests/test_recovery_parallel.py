@@ -1,0 +1,484 @@
+"""repro.recovery: partition planner, parallel scheduler, recovery-window
+edges (flapping, partition mid-recovery, donor crash mid-fan-out), and
+the experiment/report/bench stack."""
+
+import pytest
+
+from repro.chaos.faults import FaultPlan
+from repro.chaos.runner import run_seed_sweep
+from repro.check import CheckConfig, explore
+from repro.core.copier import choose_copier_source
+from repro.core.recovery import RecoveryPolicy
+from repro.recovery import plan_partitions
+from repro.recovery.experiment import run_recovery_cell, run_recovery_matrix
+from repro.recovery.report import (
+    RECOVERY_SCHEMA,
+    build_recovery_report,
+    render_recovery_text,
+    validate_recovery_report,
+    write_recovery_report,
+)
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.scenario import FailSite, RecoverSite, Scenario, Weighted
+from repro.workload.uniform import UniformWorkload
+
+from conftest import make_scenario, run_cluster
+
+
+def parallel_config(**kw):
+    defaults = dict(
+        db_size=12,
+        num_sites=4,
+        max_txn_size=4,
+        seed=7,
+        cores=5,
+        cold_recovery=True,
+        recovery_policy=RecoveryPolicy.PARALLEL,
+    )
+    defaults.update(kw)
+    return SystemConfig(**defaults)
+
+
+# -- partition planner ---------------------------------------------------------
+
+
+def _fresh_planner(num_sites=4):
+    config = SystemConfig(db_size=12, num_sites=num_sites, seed=1)
+    return Cluster(config).site(0).planner
+
+
+def test_plan_partitions_balances_across_donors():
+    planner = _fresh_planner()
+    shards = plan_partitions(planner, range(12), exclude=(0,))
+    assert sorted(shards) == [1, 2, 3]
+    assert sorted(len(v) for v in shards.values()) == [4, 4, 4]
+    covered = sorted(i for items in shards.values() for i in items)
+    assert covered == list(range(12))
+    for items in shards.values():
+        assert items == sorted(items)
+
+
+def test_plan_partitions_respects_exclude():
+    planner = _fresh_planner()
+    shards = plan_partitions(planner, range(12), exclude=(0, 1, 2))
+    assert sorted(shards) == [3]
+    assert shards[3] == list(range(12))
+
+
+def test_plan_partitions_max_donors_defers_rather_than_overcommits():
+    planner = _fresh_planner()
+    shards = plan_partitions(planner, range(12), exclude=(0,), max_donors=2)
+    assert len(shards) == 2
+    # Under full replication every deferred-eligible item still fits an
+    # opened donor, so nothing is actually dropped here.
+    assert sum(len(v) for v in shards.values()) == 12
+
+
+def test_plan_partitions_no_donor_items_absent():
+    planner = _fresh_planner()
+    shards = plan_partitions(planner, range(12), exclude=(0, 1, 2, 3))
+    assert shards == {}
+
+
+def test_plan_partitions_is_deterministic():
+    planner = _fresh_planner()
+    first = plan_partitions(planner, range(12), exclude=(0,))
+    second = plan_partitions(planner, range(12), exclude=(0,))
+    assert first == second
+
+
+# -- donor spreading (satellite: choose_copier_source) -------------------------
+
+
+def test_choose_copier_source_default_elects_lowest():
+    planner = _fresh_planner()
+    chosen = choose_copier_source(planner, [0, 1, 2])
+    assert all(s == 1 or s >= 0 for s in chosen.values())
+    baseline = {item: planner.up_to_date_source(item) for item in [0, 1, 2]}
+    assert chosen == baseline
+
+
+def test_choose_copier_source_spread_rotates_by_item_id():
+    planner = _fresh_planner()
+    chosen = choose_copier_source(planner, list(range(8)), spread=True)
+    donors = planner.up_to_date_sources(0)
+    for item, site in chosen.items():
+        assert site == donors[item % len(donors)]
+    assert len(set(chosen.values())) > 1
+
+
+def test_spread_flag_default_off_in_config():
+    assert SystemConfig().spread_copier_sources is False
+
+
+def test_spread_run_stays_consistent():
+    config = parallel_config(
+        recovery_policy=RecoveryPolicy.ON_DEMAND,
+        cold_recovery=False,
+        spread_copier_sources=True,
+    )
+    scenario = make_scenario(config, 20)
+    scenario.add_action(3, FailSite(1))
+    scenario.add_action(8, RecoverSite(1))
+    scenario.until_recovered = (1,)
+    scenario.max_txns = 1000
+    cluster = run_cluster(config, scenario)
+    assert cluster.audit_consistency() == []
+    assert cluster.faillock_counts()[1] == 0
+
+
+# -- parallel recovery end to end ----------------------------------------------
+
+
+def test_parallel_recovery_completes_and_converges():
+    config = parallel_config()
+    scenario = make_scenario(config, 20)
+    scenario.add_action(3, FailSite(0))
+    scenario.add_action(8, RecoverSite(0))
+    scenario.until_recovered = (0,)
+    scenario.max_txns = 1000
+    cluster = run_cluster(config, scenario)
+    assert cluster.audit_consistency() == []
+    assert cluster.faillock_counts()[0] == 0
+    stats = cluster.site(0).recovery.stats
+    assert stats.complete
+    assert stats.batch_copier_requests > 1  # fan-out, not one batch chain
+
+
+def test_parallel_uses_multiple_donors():
+    cell = run_recovery_cell("parallel", 4, 32, seed=11)
+    sequential = run_recovery_cell("two_step", 4, 32, seed=11)
+    assert cell.recovery_ms < sequential.recovery_ms
+
+
+def test_parallel_beats_two_step_at_four_donors():
+    sequential = run_recovery_cell("two_step", 4, 64)
+    parallel = run_recovery_cell("parallel", 4, 64)
+    assert sequential.recovery_ms / parallel.recovery_ms >= 1.5
+
+
+def test_donor_crash_mid_fanout_replans_and_completes():
+    # Site 0 recovers in parallel; one donor dies in the same slot, i.e.
+    # genuinely inside the recovery period with shards in flight.  The
+    # scheduler must bounce, re-plan to the surviving donors, and still
+    # clear every fail-lock.
+    config = parallel_config(num_sites=5, cores=6, db_size=16)
+    weights = {0: 0.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+    scenario = Scenario(
+        workload=UniformWorkload(config.item_ids, config.max_txn_size),
+        txn_count=12,
+        policy=Weighted(weights),
+        until_recovered=(0,),
+        max_txns=1000,
+    )
+    scenario.until_recovered = (0, 3)
+    scenario.add_action(2, FailSite(0))
+    scenario.add_action(5, RecoverSite(0))
+    scenario.add_action(5, FailSite(3))  # donor dies mid-fan-out
+    scenario.add_action(9, RecoverSite(3))
+    cluster = run_cluster(config, scenario)
+    assert cluster.faillock_counts()[0] == 0
+    assert cluster.site(0).recovery.stats.complete
+    assert cluster.audit_consistency() == []
+
+
+def test_flapping_site_interrupts_then_completes_recovery():
+    config = parallel_config()
+    scenario = make_scenario(config, 16)
+    scenario.add_action(2, FailSite(0))
+    scenario.add_action(5, RecoverSite(0))
+    scenario.add_action(5, FailSite(0))  # re-fail inside the period
+    scenario.add_action(10, RecoverSite(0))
+    scenario.until_recovered = (0,)
+    scenario.max_txns = 1000
+    cluster = run_cluster(config, scenario)
+    records = cluster.metrics.recoveries
+    assert [r.interrupted for r in records] == [True, False]
+    assert records[0].site_id == 0
+    assert records[0].policy == "parallel"
+    assert records[0].finished_at == -1.0
+    assert records[1].elapsed > 0
+    assert cluster.metrics.counters.get("recovery_periods") == 2
+    assert cluster.metrics.counters.get("recovery_periods_interrupted") == 1
+    assert cluster.audit_consistency() == []
+
+
+# -- chaos presets -------------------------------------------------------------
+
+
+def test_correlated_preset_is_clean_and_interrupts_nothing_by_default():
+    report = run_seed_sweep(range(5), plan=FaultPlan.correlated(), txns=40)
+    assert report.dirty_seeds == []
+    assert report.stalled_seeds == []
+    assert sum(r.recovery_periods for r in report.results) > 0
+
+
+def test_flapping_preset_is_clean_and_interrupts_recoveries():
+    report = run_seed_sweep(range(5), plan=FaultPlan.flapping(), txns=40)
+    assert report.dirty_seeds == []
+    assert report.stalled_seeds == []
+    assert sum(r.interrupted_recoveries for r in report.results) > 0
+
+
+def test_partition_recovery_preset_is_clean():
+    report = run_seed_sweep(
+        range(5), plan=FaultPlan.partition_recovery(), txns=40
+    )
+    assert report.dirty_seeds == []
+    assert report.stalled_seeds == []
+
+
+def test_preset_describe_lines_are_distinct():
+    descriptions = {
+        FaultPlan.correlated().describe(),
+        FaultPlan.flapping().describe(),
+        FaultPlan.partition_recovery().describe(),
+        FaultPlan().describe(),
+    }
+    assert len(descriptions) == 4
+
+
+def test_classic_plan_is_not_a_recovery_scenario():
+    assert not FaultPlan().recovery_scenario
+    assert FaultPlan.correlated().recovery_scenario
+    assert FaultPlan.flapping().recovery_scenario
+    assert FaultPlan.partition_recovery().recovery_scenario
+
+
+def test_preset_sweeps_replay_byte_identically():
+    for plan in (FaultPlan.correlated(), FaultPlan.flapping(),
+                 FaultPlan.partition_recovery()):
+        first = run_seed_sweep(range(2), plan=plan, txns=30)
+        second = run_seed_sweep(range(2), plan=plan, txns=30)
+        assert first.results == second.results
+
+
+# -- repro.check under the parallel policy -------------------------------------
+
+
+def test_check_explores_parallel_recovery_clean():
+    result = explore(
+        CheckConfig(txns=2, recovery_policy="parallel"), max_runs=40
+    )
+    assert result.violation is None
+
+
+def test_check_explores_flapping_budget_clean():
+    result = explore(
+        CheckConfig(
+            txns=3,
+            recovery_policy="parallel",
+            max_crashes=2,
+            max_recoveries=2,
+        ),
+        max_runs=40,
+    )
+    assert result.violation is None
+
+
+def test_check_schedule_files_roundtrip_recovery_policy():
+    config = CheckConfig(recovery_policy="parallel")
+    assert CheckConfig.from_dict(config.to_dict()) == config
+    # Old schedule files (no key) load with the byte-identical default.
+    legacy = {k: v for k, v in config.to_dict().items()
+              if k != "recovery_policy"}
+    assert CheckConfig.from_dict(legacy).recovery_policy == "on_demand"
+
+
+# -- experiment / report / bench ----------------------------------------------
+
+
+def test_recovery_cell_measures_full_stale_set():
+    cell = run_recovery_cell("parallel", 2, 16)
+    assert cell.initial_stale == 16
+    assert cell.recovery_ms > 0
+    assert cell.refreshed_by_copier + cell.refreshed_by_write >= 16
+
+
+def test_recovery_cell_rejects_bad_shapes():
+    with pytest.raises(Exception):
+        run_recovery_cell("parallel", 0, 16)
+    with pytest.raises(Exception):
+        run_recovery_cell("parallel", 2, 0)
+
+
+def test_recovery_report_builds_validates_and_is_deterministic(tmp_path):
+    cells = run_recovery_matrix(
+        donor_counts=(2, 4), stale_sizes=(16,), seed=5
+    )
+    doc = build_recovery_report(cells, seed=5)
+    assert doc["schema"] == RECOVERY_SCHEMA
+    assert validate_recovery_report(doc) == []
+    assert doc["speedup"]["min_at_4plus_donors"] is not None
+    text = render_recovery_text(doc)
+    assert "speedup" in text
+    path_a = write_recovery_report(doc, tmp_path / "a.json")
+    again = build_recovery_report(
+        run_recovery_matrix(donor_counts=(2, 4), stale_sizes=(16,), seed=5),
+        seed=5,
+    )
+    path_b = write_recovery_report(again, tmp_path / "b.json")
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_recovery_report_validation_catches_corruption():
+    cells = run_recovery_matrix(donor_counts=(2,), stale_sizes=(16,), seed=5)
+    doc = build_recovery_report(cells, seed=5)
+    doc["cells"][0]["recovery_ms"] = -1.0
+    assert any("not positive" in p for p in validate_recovery_report(doc))
+    doc2 = build_recovery_report(cells, seed=5)
+    doc2["schema"] = "bogus"
+    assert any("schema" in p for p in validate_recovery_report(doc2))
+
+
+def test_recovery_bench_gate_logic():
+    from repro.recovery.bench import (
+        check_recovery_regression,
+        validate_recovery_bench_doc,
+    )
+
+    doc = {
+        "schema": "repro.bench.recovery/1",
+        "quick": True,
+        "seed": 42,
+        "gate": {
+            "donors": 4, "stale_items": 64,
+            "two_step_ms": 1000.0, "parallel_ms": 500.0,
+            "speedup": 2.0, "min_speedup": 1.5,
+        },
+        "throughput": {"events": 1000, "wall_s": 0.1,
+                       "events_per_sec": 10000.0},
+    }
+    assert validate_recovery_bench_doc(doc) == []
+    slow = {**doc, "gate": {**doc["gate"], "speedup": 1.2}}
+    assert any("floor" in p for p in validate_recovery_bench_doc(slow))
+    drifted = {**doc, "gate": {**doc["gate"], "parallel_ms": 501.0}}
+    assert any(
+        "drifted" in p for p in check_recovery_regression(doc, drifted)
+    )
+    regressed = {
+        **doc,
+        "throughput": {**doc["throughput"], "events_per_sec": 5000.0},
+    }
+    assert any(
+        "below committed" in p
+        for p in check_recovery_regression(doc, regressed)
+    )
+    assert check_recovery_regression(doc, doc) == []
+
+
+def test_committed_bench_recovery_artifact_is_valid():
+    import json
+    from pathlib import Path
+
+    from repro.recovery.bench import validate_recovery_bench_doc
+
+    artifact = Path(__file__).resolve().parents[1] / "BENCH_recovery.json"
+    doc = json.loads(artifact.read_text())
+    assert validate_recovery_bench_doc(doc) == []
+    assert doc["gate"]["speedup"] >= 1.5
+
+
+def test_committed_recovery_report_meets_acceptance():
+    import json
+    from pathlib import Path
+
+    artifact = (
+        Path(__file__).resolve().parents[1] / "figures" / "recovery_time.json"
+    )
+    doc = json.loads(artifact.read_text())
+    assert validate_recovery_report(doc) == []
+    assert doc["speedup"]["min_at_4plus_donors"] >= 1.5
+
+
+# -- metrics surfacing ---------------------------------------------------------
+
+
+def test_recovery_periods_csv_exports_records():
+    from repro.analysis.export import recovery_periods_csv
+
+    config = parallel_config()
+    scenario = make_scenario(config, 16)
+    scenario.add_action(3, FailSite(0))
+    scenario.add_action(8, RecoverSite(0))
+    scenario.until_recovered = (0,)
+    scenario.max_txns = 1000
+    cluster = run_cluster(config, scenario)
+    rows = recovery_periods_csv(cluster.metrics)
+    assert rows[0][0] == "site_id"
+    assert len(rows) >= 2
+    body = rows[1]
+    assert body[0] == "0"
+    assert body[1] == "parallel"
+    assert body[10] == "0"  # not interrupted
+
+
+def test_soak_report_gains_recoveries_only_for_non_default_policy():
+    from repro.soak import SoakConfig, build_report, run_soak
+
+    base = dict(txns=120, rate_tps=40.0, db_size=32, exemplars=0, seed=9)
+    default_doc = build_report(run_soak(SoakConfig(**base)))
+    assert "recoveries" not in default_doc
+    assert "recovery_policy" not in default_doc["config"]
+    parallel_doc = build_report(
+        run_soak(SoakConfig(recovery_policy="parallel", **base))
+    )
+    assert parallel_doc["config"]["recovery_policy"] == "parallel"
+    assert isinstance(parallel_doc["recoveries"], list)
+    assert parallel_doc["recoveries"], "fault cycle should close a period"
+    record = parallel_doc["recoveries"][0]
+    assert record["policy"] == "parallel"
+    assert record["initial_stale"] > 0
+
+
+# -- CLI surface ---------------------------------------------------------------
+
+
+def test_cli_recovery_writes_valid_report(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    out = tmp_path / "recovery.json"
+    svg = tmp_path / "recovery.svg"
+    rc = main(
+        ["recovery", "--donors", "2", "4", "--stale", "16",
+         "--out", str(out), "--svg", str(svg)]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert validate_recovery_report(doc) == []
+    assert svg.read_text().startswith("<svg")
+    captured = capsys.readouterr()
+    assert "speedup" in captured.out
+
+
+def test_cli_chaos_recovery_modes_exit_zero(capsys):
+    from repro.cli import main
+
+    for mode in ("correlated", "flapping", "partition-recovery"):
+        rc = main(["chaos", "--mode", mode, "--seeds", "2", "--txns", "30"])
+        assert rc == 0, mode
+        assert "recovery:" in capsys.readouterr().out
+
+
+def test_cli_soak_trace_exemplars_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+    from repro.obs import validate_run_dir
+
+    out = tmp_path / "soakrun"
+    rc = main(
+        ["--seed", "7", "soak", "run", "--txns", "80", "--rate", "40",
+         "--exemplars", "4", "--recovery-policy", "two_step",
+         "--trace-exemplars", str(out)]
+    )
+    assert rc == 0
+    assert validate_run_dir(out) == []
+    captured = capsys.readouterr()
+    assert "repro trace show" in captured.out
+    import json
+
+    exemplars = json.loads((out / "exemplars.json").read_text())
+    assert exemplars["txns"] == sorted(exemplars["txns"])
+    assert exemplars["txns"]
